@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation of the design choices DESIGN.md §5 documents as deviations
+ * from the paper's literal Algorithm 1: cross-batch e_ij selection,
+ * usable-RPS capping, and the fragmentation floor. Each variant plans
+ * fleets for a range of residual rates; the metric is weighted resource
+ * cost per unit of *usable* (demand-capped) capacity — lower is better.
+ */
+
+#include <iostream>
+
+#include "cluster/cluster.hh"
+#include "common/harness.hh"
+#include "core/oracle_scheduler.hh"
+#include "core/scheduler.hh"
+#include "metrics/report.hh"
+#include "models/model_zoo.hh"
+#include "profiler/cop.hh"
+#include "profiler/op_profile_db.hh"
+
+namespace {
+
+using namespace infless;
+using metrics::fmt;
+using metrics::printHeading;
+using metrics::TextTable;
+using sim::msToTicks;
+
+struct Variant
+{
+    const char *name;
+    core::SchedulerConfig config;
+};
+
+double
+costPerUsableRps(const core::SchedulerConfig &config, double demand)
+{
+    models::ExecModel exec;
+    profiler::OpProfileDb db(exec);
+    profiler::CopPredictor cop(db);
+    core::GreedyScheduler sched(cop, config);
+    cluster::Cluster cluster(50);
+    const auto &model = models::ModelZoo::shared().get("ResNet-50");
+    auto plans =
+        sched.schedule(model, demand, msToTicks(200), 32, cluster);
+    double cost = 0.0;
+    double up = 0.0;
+    for (const auto &plan : plans) {
+        cost += plan.config.resources.weighted(cluster::kDefaultBeta);
+        up += plan.bounds.up;
+    }
+    double usable = std::min(up, demand);
+    return usable > 0 ? cost / usable : -1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<Variant> variants;
+    variants.push_back({"this repo (all amendments)", {}});
+    {
+        core::SchedulerConfig cfg;
+        cfg.largestBatchFirst = true;
+        variants.push_back({"largest-batch-first (paper-literal)", cfg});
+    }
+    {
+        core::SchedulerConfig cfg;
+        cfg.uncappedEfficiency = true;
+        variants.push_back({"uncapped e_ij numerator", cfg});
+    }
+    {
+        core::SchedulerConfig cfg;
+        cfg.noFragmentFloor = true;
+        variants.push_back({"no fragmentation floor", cfg});
+    }
+    {
+        core::SchedulerConfig cfg;
+        cfg.largestBatchFirst = true;
+        cfg.uncappedEfficiency = true;
+        cfg.noFragmentFloor = true;
+        variants.push_back({"literal Algorithm 1 (all three)", cfg});
+    }
+
+    printHeading(std::cout,
+                 "Design ablation: weighted resource cost per usable RPS "
+                 "when planning ResNet-50 fleets (lower is better)");
+    TextTable table({"variant", "@50 RPS", "@100 RPS", "@400 RPS",
+                     "@2000 RPS"});
+    for (const auto &variant : variants) {
+        std::vector<std::string> row = {variant.name};
+        for (double demand : {50.0, 100.0, 400.0, 2000.0}) {
+            double cost = costPerUsableRps(variant.config, demand);
+            row.push_back(cost >= 0 ? fmt(cost * 1000.0, 3) : "-");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "  (units: milli-weighted-resources per RPS; the "
+                 "amendments matter most at moderate rates, where the "
+                 "literal rule over-commits to large batches)\n";
+
+    // Optimality gap against the exhaustive (placement-free) oracle.
+    printHeading(std::cout,
+                 "Optimality gap vs the branch-and-bound oracle "
+                 "(greedy cost / optimal cost)");
+    TextTable gaps({"variant", "@50 RPS", "@100 RPS", "@400 RPS"});
+    models::ExecModel exec;
+    profiler::OpProfileDb db(exec);
+    profiler::CopPredictor cop(db);
+    core::OracleScheduler oracle(cop);
+    const auto &resnet = models::ModelZoo::shared().get("ResNet-50");
+    for (const auto &variant : variants) {
+        std::vector<std::string> row = {variant.name};
+        for (double demand : {50.0, 100.0, 400.0}) {
+            auto opt = oracle.solve(resnet, demand, msToTicks(200), 32);
+            double greedy = costPerUsableRps(variant.config, demand);
+            double opt_rate =
+                opt.feasible() ? opt.cost / std::min(opt.capacity, demand)
+                               : -1.0;
+            row.push_back(greedy > 0 && opt_rate > 0
+                              ? fmt(greedy / opt_rate, 2) + "x"
+                              : "-");
+        }
+        gaps.addRow(std::move(row));
+    }
+    gaps.print(std::cout);
+    std::cout << "  (the amended greedy stays close to optimal; the "
+                 "paper-literal rule pays several-fold at moderate "
+                 "rates)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Function-chain extension (§7 future work): compare SLO splitting
+ * strategies for the OSVT pipeline deployed as a 3-stage chain, across
+ * end-to-end SLO budgets. Proportional splitting gives slow stages room
+ * to batch; equal splitting starves them.
+ */
+
+#include <iostream>
+
+#include "common/harness.hh"
+#include "core/platform.hh"
+#include "metrics/report.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using namespace infless;
+using metrics::fmt;
+using metrics::fmtPercent;
+using metrics::printHeading;
+using metrics::TextTable;
+using sim::kTicksPerMin;
+using sim::kTicksPerSec;
+using sim::msToTicks;
+
+struct ChainResult
+{
+    double violations;
+    double p99Ms;
+    double tpr;
+    std::int64_t completions;
+};
+
+ChainResult
+runChain(sim::Tick slo, core::SloSplit split, double rps)
+{
+    core::Platform platform(8);
+    core::ChainSpec spec;
+    spec.name = "osvt";
+    spec.models = {"SSD", "MobileNet", "ResNet-50"};
+    spec.sloTicks = slo;
+    spec.split = split;
+    auto chain = platform.deployChain(spec);
+    platform.injectChainRateSeries(
+        chain, workload::constantRate(rps, 5 * kTicksPerMin));
+    platform.run(5 * kTicksPerMin + 15 * kTicksPerSec);
+    const auto &cm = platform.chainMetrics(chain);
+    return ChainResult{
+        cm.sloViolationRate(),
+        sim::ticksToMs(cm.latency().percentile(99)),
+        platform.totalMetrics().throughputPerResource(
+            platform.endTime(), cluster::kDefaultBeta),
+        cm.completions()};
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeading(std::cout,
+                 "Chain extension: OSVT as a 3-stage chain @ 80 RPS - "
+                 "proportional vs equal SLO splitting");
+    TextTable table({"e2e SLO (ms)", "split", "violations", "p99 (ms)",
+                     "throughput/resource"});
+    for (int slo_ms : {300, 400, 600}) {
+        for (auto split :
+             {core::SloSplit::Proportional, core::SloSplit::Equal}) {
+            auto result = runChain(msToTicks(slo_ms), split, 80.0);
+            table.addRow(
+                {std::to_string(slo_ms),
+                 split == core::SloSplit::Proportional ? "proportional"
+                                                       : "equal",
+                 fmtPercent(result.violations), fmt(result.p99Ms, 0),
+                 fmt(result.tpr, 1)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "  Proportional splitting hands the heavy stages (SSD, "
+                 "ResNet-50) most of the budget, letting them batch "
+                 "deeper: higher throughput per resource at tight "
+                 "end-to-end SLOs. Equal splitting trades that for "
+                 "slightly tighter tail control of the light stages. The "
+                 "p99 tail reflects the cold-start ramp (all stages start "
+                 "cold).\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12 — normalized throughput (completions per weighted
+ * resource-second) (a) under the three production trace patterns and
+ * (b) across latency SLOs for the OSVT scenario.
+ */
+
+#include <iostream>
+
+#include "common/harness.hh"
+#include "metrics/report.hh"
+#include "workload/generators.hh"
+#include "models/model_zoo.hh"
+
+namespace {
+
+using namespace infless;
+using namespace infless::bench;
+using metrics::fmt;
+using metrics::printHeading;
+using metrics::TextTable;
+using sim::kTicksPerMin;
+using sim::msToTicks;
+using workload::TracePattern;
+using workload::tracePatternName;
+
+double
+tracesTpr(SystemKind kind, TracePattern pattern)
+{
+    auto platform = makeSystem(kind, 8);
+    auto specs =
+        patternWorkload(models::ModelZoo::osvtModels(), pattern, 80.0,
+                        20 * kTicksPerMin, msToTicks(200), 21);
+    return runScenario(*platform, specs).throughputPerResource;
+}
+
+double
+sloTpr(SystemKind kind, sim::Tick slo)
+{
+    auto platform = makeSystem(kind, 8);
+    auto specs = osvtWorkload(100.0, 15 * kTicksPerMin, slo);
+    return runScenario(*platform, specs).throughputPerResource;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeading(std::cout,
+                 "Figure 12(a): normalized throughput under the three "
+                 "production trace patterns (OSVT, SLO 200ms)");
+    TextTable by_trace({"trace", "OpenFaaS+", "BATCH", "INFless",
+                        "INFless/OpenFaaS+", "INFless/BATCH"});
+    for (TracePattern pattern : workload::kAllPatterns) {
+        double ofp = tracesTpr(SystemKind::OpenFaas, pattern);
+        double batch = tracesTpr(SystemKind::Batch, pattern);
+        double infl = tracesTpr(SystemKind::Infless, pattern);
+        by_trace.addRow({tracePatternName(pattern), fmt(ofp, 1),
+                         fmt(batch, 1), fmt(infl, 1),
+                         ofp > 0 ? fmt(infl / ofp, 1) + "x" : "-",
+                         batch > 0 ? fmt(infl / batch, 1) + "x" : "-"});
+    }
+    by_trace.print(std::cout);
+    std::cout << "  (paper: INFless 3.4x-4.3x over OpenFaaS+, "
+                 "1.8x-2.6x over BATCH)\n";
+
+    printHeading(std::cout,
+                 "Figure 12(b): normalized throughput across latency SLOs "
+                 "(OSVT, constant load)");
+    TextTable by_slo({"SLO (ms)", "BATCH", "INFless", "INFless/BATCH"});
+    for (int slo_ms : {150, 200, 250, 300, 350}) {
+        double batch = sloTpr(SystemKind::Batch, msToTicks(slo_ms));
+        double infl = sloTpr(SystemKind::Infless, msToTicks(slo_ms));
+        by_slo.addRow({std::to_string(slo_ms), fmt(batch, 1), fmt(infl, 1),
+                       batch > 0 ? fmt(infl / batch, 1) + "x" : "-"});
+    }
+    by_slo.print(std::cout);
+    std::cout << "  (paper: INFless 1.6x-3.5x over BATCH across SLOs)\n";
+    return 0;
+}

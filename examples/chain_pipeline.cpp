@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Inference function chains — the paper's §7 future work, implemented.
+ *
+ * The OSVT business is really a pipeline: SSD detects the vehicle,
+ * MobileNet reads the license plate, ResNet-50 classifies the model.
+ * Deploying it as a chain gives the whole pipeline one end-to-end SLO;
+ * the platform splits the budget across stages (proportional to their
+ * predicted cost) and forwards each request stage to stage.
+ */
+
+#include <iostream>
+
+#include "core/platform.hh"
+#include "metrics/report.hh"
+#include "workload/generators.hh"
+
+using namespace infless;
+
+int
+main()
+{
+    core::Platform platform(8);
+
+    core::ChainSpec chain_spec;
+    chain_spec.name = "osvt-pipeline";
+    chain_spec.models = {"SSD", "MobileNet", "ResNet-50"};
+    chain_spec.sloTicks = sim::msToTicks(400);
+    chain_spec.split = core::SloSplit::Proportional;
+    auto chain = platform.deployChain(chain_spec);
+
+    platform.injectChainRateSeries(
+        chain, workload::constantRate(60.0, 10 * sim::kTicksPerMin));
+    platform.run(10 * sim::kTicksPerMin + 15 * sim::kTicksPerSec);
+
+    metrics::printHeading(std::cout,
+                          "OSVT as a 3-stage chain, 400 ms end-to-end SLO "
+                          "@ 60 RPS");
+    metrics::TextTable stages({"stage", "model", "stage SLO (ms)",
+                               "mean latency (ms)", "batch fill"});
+    int index = 0;
+    for (auto fn : platform.chainStages(chain)) {
+        const auto &m = platform.functionMetrics(fn);
+        stages.addRow({std::to_string(index++),
+                       platform.spec(fn).model,
+                       metrics::fmt(platform.spec(fn).sloTicks /
+                                        static_cast<double>(
+                                            sim::kTicksPerMs),
+                                    0),
+                       metrics::fmt(m.latency().mean() / sim::kTicksPerMs,
+                                    1),
+                       metrics::fmt(m.meanBatchFill(), 1)});
+    }
+    stages.print(std::cout);
+
+    const auto &cm = platform.chainMetrics(chain);
+    std::cout << "\nend-to-end: " << cm.completions()
+              << " pipelines completed, p50 "
+              << metrics::fmt(sim::ticksToMs(cm.latency().percentile(50)),
+                              0)
+              << " ms, p99 "
+              << metrics::fmt(sim::ticksToMs(cm.latency().percentile(99)),
+                              0)
+              << " ms, SLO violations "
+              << metrics::fmtPercent(cm.sloViolationRate()) << "\n";
+    std::cout << "breakdown: cold "
+              << metrics::fmt(cm.coldTime().mean() / sim::kTicksPerMs, 1)
+              << " ms, queuing "
+              << metrics::fmt(cm.queueTime().mean() / sim::kTicksPerMs, 1)
+              << " ms, execution "
+              << metrics::fmt(cm.execTime().mean() / sim::kTicksPerMs, 1)
+              << " ms\n";
+    return 0;
+}

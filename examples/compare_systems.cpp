@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Side-by-side run of the three systems of Table 3 — OpenFaaS+, BATCH
+ * and INFless — on the same workload, printing the headline metrics the
+ * paper compares them on.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/batch_otp.hh"
+#include "baselines/openfaas_plus.hh"
+#include "core/platform.hh"
+#include "metrics/report.hh"
+#include "models/model_zoo.hh"
+#include "workload/generators.hh"
+
+using namespace infless;
+
+namespace {
+
+struct Row
+{
+    std::string system;
+    double tpr;
+    double violations;
+    double fill;
+    double gpus;
+};
+
+Row
+runOne(core::Platform &platform)
+{
+    for (const auto &model : models::ModelZoo::osvtModels()) {
+        core::FunctionSpec spec;
+        spec.name = model + "-fn";
+        spec.model = model;
+        spec.sloTicks = sim::msToTicks(200);
+        auto fn = platform.deploy(spec);
+        platform.injectRateSeries(
+            fn, workload::constantRate(100.0, 10 * sim::kTicksPerMin));
+    }
+    platform.run(10 * sim::kTicksPerMin + 10 * sim::kTicksPerSec);
+    const auto &m = platform.totalMetrics();
+    return Row{platform.name(),
+               m.throughputPerResource(platform.endTime(),
+                                       cluster::kDefaultBeta),
+               m.sloViolationRate(), m.meanBatchFill(),
+               m.meanGpuDevices(platform.endTime())};
+}
+
+} // namespace
+
+int
+main()
+{
+    metrics::printHeading(std::cout,
+                          "OSVT bundle @ 300 RPS total on the 8-node "
+                          "cluster: OpenFaaS+ vs BATCH vs INFless");
+
+    baselines::OpenFaasPlus openfaas(8);
+    baselines::BatchOtp batch(8);
+    core::Platform infless(8);
+
+    Row rows[] = {runOne(openfaas), runOne(batch), runOne(infless)};
+
+    metrics::TextTable table({"system", "throughput/resource",
+                              "SLO violations", "batch fill",
+                              "mean GPUs held"});
+    for (const Row &row : rows) {
+        table.addRow({row.system, metrics::fmt(row.tpr, 1),
+                      metrics::fmtPercent(row.violations),
+                      metrics::fmt(row.fill, 1),
+                      metrics::fmt(row.gpus, 2)});
+    }
+    table.print(std::cout);
+
+    double vs_ofp = rows[0].tpr > 0 ? rows[2].tpr / rows[0].tpr : 0.0;
+    double vs_batch = rows[1].tpr > 0 ? rows[2].tpr / rows[1].tpr : 0.0;
+    std::cout << "\nINFless serves the same load with "
+              << metrics::fmt(vs_ofp, 1) << "x the resource efficiency of "
+              << "OpenFaaS+ and " << metrics::fmt(vs_batch, 1)
+              << "x that of BATCH (paper: 2x-5x).\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: deploy one inference function with a latency SLO, drive it
+ * with Poisson traffic, and read back the metrics INFless reports.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/platform.hh"
+#include "metrics/report.hh"
+#include "workload/generators.hh"
+
+using namespace infless;
+
+int
+main()
+{
+    // A platform simulating the paper's 8-node GPU testbed.
+    core::Platform platform(8);
+
+    // Deploy: like the Fig. 5 template, a function is a model plus an
+    // SLO; batching, resources and scaling are the platform's job.
+    core::FunctionSpec spec;
+    spec.name = "image-classifier";
+    spec.model = "ResNet-50";
+    spec.sloTicks = sim::msToTicks(200);
+    auto fn = platform.deploy(spec);
+
+    // Offer 80 requests/second for five minutes.
+    platform.injectRateSeries(
+        fn, workload::constantRate(80.0, 5 * sim::kTicksPerMin));
+    platform.run(5 * sim::kTicksPerMin + 10 * sim::kTicksPerSec);
+
+    const auto &m = platform.totalMetrics();
+    metrics::printHeading(std::cout, "quickstart: ResNet-50 @ 80 RPS");
+    metrics::TextTable table({"metric", "value"});
+    table.addRow({"requests", std::to_string(m.arrivals())});
+    table.addRow({"completed", std::to_string(m.completions())});
+    table.addRow({"SLO violations",
+                  metrics::fmtPercent(m.sloViolationRate())});
+    table.addRow({"p50 latency",
+                  metrics::fmt(sim::ticksToMs(m.latency().percentile(50)),
+                               1) +
+                      " ms"});
+    table.addRow({"p99 latency",
+                  metrics::fmt(sim::ticksToMs(m.latency().percentile(99)),
+                               1) +
+                      " ms"});
+    table.addRow({"mean batch fill", metrics::fmt(m.meanBatchFill(), 1)});
+    table.addRow({"instances launched", std::to_string(m.launches())});
+    table.addRow(
+        {"mean GPUs held",
+         metrics::fmt(m.meanGpuDevices(platform.endTime()), 2)});
+    table.print(std::cout);
+
+    std::cout << "\nEach launched configuration (non-uniform scaling):\n";
+    for (const auto &usage : platform.configUsage(fn)) {
+        std::cout << "  " << usage.config.str() << "  launches="
+                  << usage.launches << " served=" << usage.requestsServed
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,8 @@
+#include "baselines/batch_rs.hh"
+
+// BatchRs is fully defined in the header; this translation unit anchors
+// its vtable.
+
+namespace infless::baselines {
+
+} // namespace infless::baselines

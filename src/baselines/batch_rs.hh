@@ -1,0 +1,33 @@
+/**
+ * @file
+ * BATCH+RS — Fig. 17(b)'s fourth system.
+ *
+ * The instances BATCH configures, placed by INFless's resource-aware
+ * best-fit rule instead of first-fit. Isolates the contribution of the
+ * scheduling algorithm to fragmentation reduction.
+ */
+
+#ifndef INFLESS_BASELINES_BATCH_RS_HH
+#define INFLESS_BASELINES_BATCH_RS_HH
+
+#include "baselines/batch_otp.hh"
+
+namespace infless::baselines {
+
+/**
+ * BATCH with resource-aware placement.
+ */
+class BatchRs : public BatchOtp
+{
+  public:
+    using BatchOtp::BatchOtp;
+
+    std::string name() const override { return "BATCH+RS"; }
+
+  protected:
+    bool bestFitPlacement() const override { return true; }
+};
+
+} // namespace infless::baselines
+
+#endif // INFLESS_BASELINES_BATCH_RS_HH

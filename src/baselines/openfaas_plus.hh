@@ -1,0 +1,53 @@
+/**
+ * @file
+ * OpenFaaS+ baseline (§5.1, Table 3).
+ *
+ * The enhanced OpenFaaS the paper compares against: GPU-capable, but with
+ * the "one-to-one mapping" request policy (each request needs its own
+ * unoccupied instance), no batching, a single fixed instance
+ * configuration (2 CPU cores + 10% GPU SMs), uniform scaling and a fixed
+ * 300 s keep-alive window.
+ */
+
+#ifndef INFLESS_BASELINES_OPENFAAS_PLUS_HH
+#define INFLESS_BASELINES_OPENFAAS_PLUS_HH
+
+#include "core/platform.hh"
+
+namespace infless::baselines {
+
+/** OpenFaaS+ knobs. */
+struct OpenFaasPlusOptions
+{
+    /** The uniform per-instance allocation (paper: 2 cores, 10% SM). */
+    cluster::Resources instanceResources{2000, 10, 0};
+    /** Fixed keep-alive window. */
+    sim::Tick keepAlive = 300 * sim::kTicksPerSec;
+};
+
+/**
+ * The OpenFaaS+ comparison system.
+ */
+class OpenFaasPlus : public core::Platform
+{
+  public:
+    OpenFaasPlus(std::size_t num_servers, core::PlatformOptions opts = {},
+                 OpenFaasPlusOptions ofp = {});
+
+    std::string name() const override { return "OpenFaaS+"; }
+
+  protected:
+    std::vector<core::LaunchPlan> planScaleOut(FunctionState &fn,
+                                               double residual_rps) override;
+    bool oneToOne() const override { return true; }
+    bool activeScaleIn() const override { return false; }
+    bool packRouting() const override { return true; }
+    bool reconfigures() const override { return false; }
+
+  private:
+    OpenFaasPlusOptions ofp_;
+};
+
+} // namespace infless::baselines
+
+#endif // INFLESS_BASELINES_OPENFAAS_PLUS_HH

@@ -1,0 +1,122 @@
+#include "cluster/cluster.hh"
+
+#include "sim/logging.hh"
+
+namespace infless::cluster {
+
+Cluster::Cluster(std::size_t num_servers, const Resources &capacity)
+{
+    sim::simAssert(num_servers > 0, "cluster needs at least one server");
+    servers_.reserve(num_servers);
+    for (std::size_t i = 0; i < num_servers; ++i)
+        servers_.emplace_back(static_cast<ServerId>(i), capacity);
+}
+
+Cluster::Cluster(const std::vector<Resources> &capacities)
+{
+    sim::simAssert(!capacities.empty(),
+                   "cluster needs at least one server");
+    servers_.reserve(capacities.size());
+    for (std::size_t i = 0; i < capacities.size(); ++i)
+        servers_.emplace_back(static_cast<ServerId>(i), capacities[i]);
+}
+
+std::vector<Resources>
+Cluster::capacities() const
+{
+    std::vector<Resources> result;
+    result.reserve(servers_.size());
+    for (const auto &s : servers_)
+        result.push_back(s.capacity());
+    return result;
+}
+
+Server &
+Cluster::server(ServerId id)
+{
+    sim::simAssert(id >= 0 && static_cast<std::size_t>(id) < servers_.size(),
+                   "bad server id ", id);
+    return servers_[static_cast<std::size_t>(id)];
+}
+
+const Server &
+Cluster::server(ServerId id) const
+{
+    sim::simAssert(id >= 0 && static_cast<std::size_t>(id) < servers_.size(),
+                   "bad server id ", id);
+    return servers_[static_cast<std::size_t>(id)];
+}
+
+Resources
+Cluster::totalCapacity() const
+{
+    Resources total;
+    for (const auto &s : servers_)
+        total += s.capacity();
+    return total;
+}
+
+Resources
+Cluster::totalAvailable() const
+{
+    Resources total;
+    for (const auto &s : servers_)
+        total += s.available();
+    return total;
+}
+
+Resources
+Cluster::totalAllocated() const
+{
+    Resources total;
+    for (const auto &s : servers_)
+        total += s.allocated();
+    return total;
+}
+
+double
+Cluster::fragmentRatio(double beta) const
+{
+    double sum = 0.0;
+    std::size_t active = 0;
+    for (const auto &s : servers_) {
+        if (!s.isActive())
+            continue;
+        sum += s.fragmentRatio(beta);
+        ++active;
+    }
+    return active == 0 ? 0.0 : sum / static_cast<double>(active);
+}
+
+std::size_t
+Cluster::activeServers() const
+{
+    std::size_t active = 0;
+    for (const auto &s : servers_)
+        active += s.isActive() ? 1 : 0;
+    return active;
+}
+
+bool
+Cluster::allocate(ServerId id, const Resources &req)
+{
+    return server(id).allocate(req);
+}
+
+void
+Cluster::release(ServerId id, const Resources &req)
+{
+    server(id).release(req);
+}
+
+ServerId
+Cluster::firstFit(const Resources &req) const
+{
+    for (const auto &s : servers_) {
+        if (s.canFit(req))
+            return s.id();
+    }
+    return kNoServer;
+}
+
+} // namespace infless::cluster

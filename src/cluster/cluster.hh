@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A fleet of simulated servers.
+ */
+
+#ifndef INFLESS_CLUSTER_CLUSTER_HH
+#define INFLESS_CLUSTER_CLUSTER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/resources.hh"
+#include "cluster/server.hh"
+
+namespace infless::cluster {
+
+/**
+ * The set of machines the scheduler places instances on.
+ *
+ * Both the 8-node local testbed and the 2,000-node simulation of the paper
+ * are instances of this class with different sizes.
+ */
+class Cluster
+{
+  public:
+    /**
+     * Build a homogeneous cluster.
+     *
+     * @param num_servers Number of machines.
+     * @param capacity Per-machine capacity; defaults to the paper testbed.
+     */
+    explicit Cluster(std::size_t num_servers,
+                     const Resources &capacity = testbedServerCapacity());
+
+    /**
+     * Build a heterogeneous cluster (e.g. a mix of GPU and CPU-only
+     * machines).
+     */
+    explicit Cluster(const std::vector<Resources> &capacities);
+
+    /** Per-server capacities, in server-id order. */
+    std::vector<Resources> capacities() const;
+
+    std::size_t size() const { return servers_.size(); }
+
+    Server &server(ServerId id);
+    const Server &server(ServerId id) const;
+
+    std::vector<Server> &servers() { return servers_; }
+    const std::vector<Server> &servers() const { return servers_; }
+
+    /** Sum of all capacities. */
+    Resources totalCapacity() const;
+
+    /** Sum of all unallocated resources. */
+    Resources totalAvailable() const;
+
+    /** Sum of all allocated resources. */
+    Resources totalAllocated() const;
+
+    /**
+     * Average unallocated fraction over *active* servers (Fig. 17b's
+     * resource fragment ratio). Idle servers are excluded: they are spare
+     * capacity, not fragmentation.
+     */
+    double fragmentRatio(double beta = kDefaultBeta) const;
+
+    /** Number of servers with at least one allocation. */
+    std::size_t activeServers() const;
+
+    /** Allocate @p req on the given server; false if it does not fit. */
+    bool allocate(ServerId id, const Resources &req);
+
+    /** Release a previous allocation on the given server. */
+    void release(ServerId id, const Resources &req);
+
+    /**
+     * First-fit probe: the first server that can host @p req.
+     *
+     * @return kNoServer when nothing fits.
+     */
+    ServerId firstFit(const Resources &req) const;
+
+  private:
+    std::vector<Server> servers_;
+};
+
+} // namespace infless::cluster
+
+#endif // INFLESS_CLUSTER_CLUSTER_HH

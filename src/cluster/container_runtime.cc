@@ -1,0 +1,7 @@
+#include "cluster/container_runtime.hh"
+
+// Header-only today; this translation unit anchors the library.
+
+namespace infless::cluster {
+
+} // namespace infless::cluster

@@ -1,0 +1,37 @@
+#include "cluster/resources.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace infless::cluster {
+
+Resources &
+Resources::operator+=(const Resources &o)
+{
+    cpuMillicores += o.cpuMillicores;
+    gpuSmPercent += o.gpuSmPercent;
+    memoryMb += o.memoryMb;
+    return *this;
+}
+
+Resources &
+Resources::operator-=(const Resources &o)
+{
+    cpuMillicores -= o.cpuMillicores;
+    gpuSmPercent -= o.gpuSmPercent;
+    memoryMb -= o.memoryMb;
+    sim::simAssert(isValid(), "resource subtraction went negative: ", str());
+    return *this;
+}
+
+std::string
+Resources::str() const
+{
+    std::ostringstream os;
+    os << "cpu=" << cpuMillicores << "mc gpu=" << gpuSmPercent
+       << "% mem=" << memoryMb << "MB";
+    return os.str();
+}
+
+} // namespace infless::cluster

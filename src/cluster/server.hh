@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A single simulated server with allocatable CPU/GPU/memory capacity.
+ */
+
+#ifndef INFLESS_CLUSTER_SERVER_HH
+#define INFLESS_CLUSTER_SERVER_HH
+
+#include <cstdint>
+
+#include "cluster/resources.hh"
+
+namespace infless::cluster {
+
+/** Index of a server inside its Cluster. */
+using ServerId = std::int32_t;
+
+/** Sentinel for "no server". */
+constexpr ServerId kNoServer = -1;
+
+/**
+ * Tracks capacity, current allocation and fragmentation of one machine.
+ *
+ * The testbed machine of the paper (Table 2) is the default: 16 physical
+ * cores, 128 GiB RAM and two RTX 2080Ti GPUs (200% SM).
+ */
+class Server
+{
+  public:
+    /** Default-constructed servers mirror the paper's testbed node. */
+    Server();
+
+    Server(ServerId id, const Resources &capacity);
+
+    ServerId id() const { return id_; }
+
+    /** Total capacity. */
+    const Resources &capacity() const { return capacity_; }
+
+    /** Currently unallocated resources. */
+    const Resources &available() const { return available_; }
+
+    /** Currently allocated resources. */
+    Resources allocated() const { return capacity_ - available_; }
+
+    /** Whether @p req fits in the unallocated remainder. */
+    bool canFit(const Resources &req) const { return req.fitsIn(available_); }
+
+    /**
+     * Reserve @p req.
+     *
+     * @return false (and change nothing) if it does not fit.
+     */
+    bool allocate(const Resources &req);
+
+    /** Return a previous allocation. Panics on over-release. */
+    void release(const Resources &req);
+
+    /** Number of live allocations. */
+    int allocationCount() const { return allocationCount_; }
+
+    /** True if anything is allocated. */
+    bool isActive() const { return allocationCount_ > 0; }
+
+    /**
+     * Fraction of weighted compute capacity left unallocated.
+     *
+     * This is the per-server quantity averaged into the paper's resource
+     * fragment ratio (Fig. 17b).
+     */
+    double fragmentRatio(double beta = kDefaultBeta) const;
+
+    /** Fraction of weighted compute capacity allocated. */
+    double
+    occupancy(double beta = kDefaultBeta) const
+    {
+        return 1.0 - fragmentRatio(beta);
+    }
+
+  private:
+    ServerId id_ = kNoServer;
+    Resources capacity_;
+    Resources available_;
+    int allocationCount_ = 0;
+};
+
+/** The paper's testbed node: 16 cores, 128 GiB, 2x RTX 2080Ti. */
+Resources testbedServerCapacity();
+
+} // namespace infless::cluster
+
+#endif // INFLESS_CLUSTER_SERVER_HH

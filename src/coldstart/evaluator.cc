@@ -1,0 +1,42 @@
+#include "coldstart/evaluator.hh"
+
+#include <algorithm>
+
+namespace infless::coldstart {
+
+PolicyEvaluation
+evaluatePolicy(KeepAlivePolicy &policy, const workload::ArrivalTrace &trace)
+{
+    PolicyEvaluation eval;
+    const auto &arrivals = trace.arrivals();
+    eval.invocations = static_cast<std::int64_t>(arrivals.size());
+    eval.traceTicks = trace.duration();
+    if (arrivals.empty())
+        return eval;
+
+    // The very first invocation finds nothing warm.
+    ++eval.coldStarts;
+    policy.recordInvocation(arrivals.front());
+
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+        sim::Tick prev = arrivals[i - 1];
+        sim::Tick gap = arrivals[i] - prev;
+        KeepAliveDecision windows = policy.decide(prev);
+
+        if (windows.covers(gap)) {
+            // Image sat loaded from warmStart until the request arrived.
+            eval.wastedWarmTicks += gap - windows.warmStart();
+        } else {
+            ++eval.coldStarts;
+            if (gap > windows.warmEnd()) {
+                // The whole keep-alive window elapsed unused.
+                eval.wastedWarmTicks += windows.keepAliveWindow;
+            }
+            // gap < warmStart: the image was never loaded -> no waste.
+        }
+        policy.recordInvocation(arrivals[i]);
+    }
+    return eval;
+}
+
+} // namespace infless::coldstart

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Policy-level cold-start evaluator.
+ *
+ * Replays a per-function arrival trace against a keep-alive policy and
+ * measures the two quantities Fig. 16 reports: the cold-start rate (the
+ * fraction of invocations arriving outside the warm interval) and the
+ * idle resource waste (warm time not ended by an invocation).
+ */
+
+#ifndef INFLESS_COLDSTART_EVALUATOR_HH
+#define INFLESS_COLDSTART_EVALUATOR_HH
+
+#include <cstdint>
+
+#include "coldstart/policy.hh"
+#include "workload/trace.hh"
+
+namespace infless::coldstart {
+
+/** Outcome of replaying one trace against one policy. */
+struct PolicyEvaluation
+{
+    std::int64_t invocations = 0;
+    std::int64_t coldStarts = 0;
+    /** Warm-but-idle time accumulated across all gaps. */
+    sim::Tick wastedWarmTicks = 0;
+    /** Total trace duration (for normalizing the waste). */
+    sim::Tick traceTicks = 0;
+
+    /** Cold starts per invocation. */
+    double
+    coldStartRate() const
+    {
+        return invocations == 0
+                   ? 0.0
+                   : static_cast<double>(coldStarts) /
+                         static_cast<double>(invocations);
+    }
+
+    /** Wasted warm time as a fraction of the trace duration. */
+    double
+    wasteRatio() const
+    {
+        return traceTicks == 0
+                   ? 0.0
+                   : static_cast<double>(wastedWarmTicks) /
+                         static_cast<double>(traceTicks);
+    }
+};
+
+/**
+ * Replay @p trace against @p policy.
+ *
+ * The first invocation is always cold (nothing was warm yet). For each
+ * consecutive pair, the policy decides windows at the earlier invocation;
+ * the later one is warm iff its gap falls inside [pw, pw+ka]. Idle warm
+ * time is what the loaded image spends waiting: gap - pw on a hit, the
+ * whole keep-alive window on a miss past the window, nothing when the
+ * request lands before the pre-warm.
+ */
+PolicyEvaluation evaluatePolicy(KeepAlivePolicy &policy,
+                                const workload::ArrivalTrace &trace);
+
+} // namespace infless::coldstart
+
+#endif // INFLESS_COLDSTART_EVALUATOR_HH

@@ -1,0 +1,33 @@
+#include "coldstart/fixed.hh"
+
+#include "sim/logging.hh"
+
+namespace infless::coldstart {
+
+FixedKeepAlive::FixedKeepAlive(sim::Tick keep_alive)
+    : keepAlive_(keep_alive)
+{
+    sim::simAssert(keep_alive > 0, "keep-alive must be positive");
+}
+
+void
+FixedKeepAlive::recordInvocation(sim::Tick)
+{
+    // History-free by design.
+}
+
+KeepAliveDecision
+FixedKeepAlive::decide(sim::Tick) const
+{
+    return KeepAliveDecision{0, keepAlive_};
+}
+
+PolicyFactory
+FixedKeepAlive::factory(sim::Tick keep_alive)
+{
+    return [keep_alive]() {
+        return std::make_unique<FixedKeepAlive>(keep_alive);
+    };
+}
+
+} // namespace infless::coldstart

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fixed keep-alive policy.
+ *
+ * What OpenFaaS and the BATCH baseline use: no pre-warming, a constant
+ * keep-alive window (300 s in the paper's comparison, Table 3).
+ */
+
+#ifndef INFLESS_COLDSTART_FIXED_HH
+#define INFLESS_COLDSTART_FIXED_HH
+
+#include "coldstart/policy.hh"
+
+namespace infless::coldstart {
+
+/**
+ * Keep every instance warm for a constant window after use.
+ */
+class FixedKeepAlive : public KeepAlivePolicy
+{
+  public:
+    explicit FixedKeepAlive(sim::Tick keep_alive = 300 * sim::kTicksPerSec);
+
+    void recordInvocation(sim::Tick now) override;
+    KeepAliveDecision decide(sim::Tick now) const override;
+    std::string name() const override { return "fixed"; }
+
+    /** Factory for platform wiring. */
+    static PolicyFactory factory(sim::Tick keep_alive =
+                                     300 * sim::kTicksPerSec);
+
+  private:
+    sim::Tick keepAlive_;
+};
+
+} // namespace infless::coldstart
+
+#endif // INFLESS_COLDSTART_FIXED_HH

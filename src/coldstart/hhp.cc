@@ -1,0 +1,58 @@
+#include "coldstart/hhp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace infless::coldstart {
+
+HybridHistogramPolicy::HybridHistogramPolicy(HhpParams params)
+    : params_(params),
+      hist_(params.trackedDuration, params.binWidth, params.range)
+{
+}
+
+void
+HybridHistogramPolicy::recordInvocation(sim::Tick now)
+{
+    hist_.recordInvocation(now);
+}
+
+KeepAliveDecision
+HybridHistogramPolicy::windowsFrom(sim::Tick head, sim::Tick tail,
+                                   double margin)
+{
+    auto prewarm = static_cast<sim::Tick>(
+        std::floor(static_cast<double>(head) * (1.0 - margin)));
+    auto keep_until = static_cast<sim::Tick>(
+        std::ceil(static_cast<double>(tail) * (1.0 + margin)));
+    prewarm = std::max<sim::Tick>(0, prewarm);
+    keep_until = std::max(keep_until, prewarm + sim::kTicksPerMin);
+    return KeepAliveDecision{prewarm, keep_until - prewarm};
+}
+
+KeepAliveDecision
+HybridHistogramPolicy::decide(sim::Tick now) const
+{
+    hist_.evict(now);
+    bool representative = hist_.count() >= params_.minSamples &&
+                          hist_.overflowFraction() <= params_.maxOverflow;
+    if (!representative) {
+        // Conservative: keep warm continuously.
+        return KeepAliveDecision{0, params_.fallbackKeepAlive};
+    }
+    // Head from the lower bin edge (pre-warm early), tail from the upper
+    // edge (keep alive late): conservative on both sides.
+    sim::Tick head = hist_.percentileLower(params_.headPercentile);
+    sim::Tick tail = hist_.percentile(params_.tailPercentile);
+    return windowsFrom(head, tail, params_.margin);
+}
+
+PolicyFactory
+HybridHistogramPolicy::factory(HhpParams params)
+{
+    return [params]() {
+        return std::make_unique<HybridHistogramPolicy>(params);
+    };
+}
+
+} // namespace infless::coldstart

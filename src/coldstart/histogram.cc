@@ -1,0 +1,107 @@
+#include "coldstart/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace infless::coldstart {
+
+IdleTimeHistogram::IdleTimeHistogram(sim::Tick window, sim::Tick bin_width,
+                                     sim::Tick range)
+    : window_(window), binWidth_(bin_width), range_(range)
+{
+    sim::simAssert(window > 0 && bin_width > 0 && range > 0,
+                   "histogram parameters must be positive");
+    // One overflow bin past the range.
+    bins_.assign(static_cast<std::size_t>(range / bin_width) + 2, 0);
+}
+
+std::size_t
+IdleTimeHistogram::binOf(sim::Tick gap) const
+{
+    if (gap < 0)
+        gap = 0;
+    auto bin = static_cast<std::size_t>(gap / binWidth_);
+    return std::min(bin, bins_.size() - 1);
+}
+
+void
+IdleTimeHistogram::recordInvocation(sim::Tick now)
+{
+    if (lastInvocation_ >= 0 && now >= lastInvocation_)
+        addSample(now - lastInvocation_, now);
+    lastInvocation_ = now;
+}
+
+void
+IdleTimeHistogram::addSample(sim::Tick gap, sim::Tick now)
+{
+    evict(now);
+    std::size_t bin = binOf(gap);
+    samples_.push_back(Sample{now, bin});
+    ++bins_[bin];
+    ++total_;
+}
+
+void
+IdleTimeHistogram::evict(sim::Tick now)
+{
+    sim::Tick cutoff = now - window_;
+    while (!samples_.empty() && samples_.front().observedAt < cutoff) {
+        --bins_[samples_.front().bin];
+        --total_;
+        samples_.pop_front();
+    }
+}
+
+double
+IdleTimeHistogram::overflowFraction() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bins_.back()) /
+           static_cast<double>(total_);
+}
+
+std::size_t
+IdleTimeHistogram::percentileBin(double p) const
+{
+    sim::simAssert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    auto target = static_cast<std::int64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    target = std::max<std::int64_t>(1, target);
+    std::int64_t seen = 0;
+    for (std::size_t bin = 0; bin < bins_.size(); ++bin) {
+        seen += bins_[bin];
+        if (seen >= target)
+            return bin;
+    }
+    return bins_.size() - 1;
+}
+
+sim::Tick
+IdleTimeHistogram::percentile(double p) const
+{
+    sim::simAssert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (total_ == 0)
+        return 0;
+    std::size_t bin = percentileBin(p);
+    if (bin == bins_.size() - 1)
+        return range_; // overflow reports as the cap
+    return static_cast<sim::Tick>(bin + 1) * binWidth_;
+}
+
+sim::Tick
+IdleTimeHistogram::percentileLower(double p) const
+{
+    sim::simAssert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (total_ == 0)
+        return 0;
+    std::size_t bin = percentileBin(p);
+    if (bin == bins_.size() - 1)
+        return range_;
+    return static_cast<sim::Tick>(bin) * binWidth_;
+}
+
+} // namespace infless::coldstart

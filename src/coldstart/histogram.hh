@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sliding-window idle-time histogram.
+ *
+ * The histogram policies (HHP, LSTH) characterize a function's idle-time
+ * distribution over a tracked duration. Samples older than the window are
+ * evicted, so the histogram follows the workload.
+ */
+
+#ifndef INFLESS_COLDSTART_HISTOGRAM_HH
+#define INFLESS_COLDSTART_HISTOGRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace infless::coldstart {
+
+/**
+ * Fixed-bin histogram of idle gaps with time-based sample eviction.
+ */
+class IdleTimeHistogram
+{
+  public:
+    /**
+     * @param window Retention horizon: samples older than now-window are
+     *        dropped (HHP's "tracked duration", e.g. 4 h; LSTH uses 1 h
+     *        and 24 h).
+     * @param bin_width Histogram granularity (1 minute, as in HHP).
+     * @param range Largest representable idle time; larger gaps land in
+     *        the overflow bin.
+     */
+    explicit IdleTimeHistogram(sim::Tick window,
+                               sim::Tick bin_width = sim::kTicksPerMin,
+                               sim::Tick range = 4 * sim::kTicksPerHour);
+
+    /**
+     * Observe an invocation at @p now; derives the idle gap from the
+     * previous invocation automatically.
+     */
+    void recordInvocation(sim::Tick now);
+
+    /** Insert an explicit idle-gap sample observed at @p now. */
+    void addSample(sim::Tick gap, sim::Tick now);
+
+    /** Drop samples observed before @p now - window. */
+    void evict(sim::Tick now);
+
+    /** Number of retained samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Fraction of retained samples in the overflow bin. */
+    double overflowFraction() const;
+
+    /**
+     * Idle-time percentile in ticks (p in [0, 100]), reported as the
+     * *upper* edge of the containing bin — conservative for keep-alive
+     * tails (keep a little longer). Overflow samples report as the range
+     * cap. Returns 0 when empty.
+     */
+    sim::Tick percentile(double p) const;
+
+    /**
+     * Like percentile(), but reported as the *lower* edge of the
+     * containing bin — conservative for pre-warming heads (load a little
+     * earlier).
+     */
+    sim::Tick percentileLower(double p) const;
+
+    sim::Tick window() const { return window_; }
+    sim::Tick range() const { return range_; }
+
+  private:
+    struct Sample
+    {
+        sim::Tick observedAt;
+        std::size_t bin;
+    };
+
+    std::size_t binOf(sim::Tick gap) const;
+    std::size_t percentileBin(double p) const;
+
+    sim::Tick window_;
+    sim::Tick binWidth_;
+    sim::Tick range_;
+    sim::Tick lastInvocation_ = -1;
+    std::deque<Sample> samples_;
+    std::vector<std::int64_t> bins_;
+    std::int64_t total_ = 0;
+};
+
+} // namespace infless::coldstart
+
+#endif // INFLESS_COLDSTART_HISTOGRAM_HH

@@ -1,0 +1,72 @@
+#include "coldstart/lsth.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace infless::coldstart {
+
+LsthPolicy::LsthPolicy(LsthParams params)
+    : params_(params),
+      shortHist_(params.shortDuration, params.binWidth, params.range),
+      longHist_(params.longDuration, params.binWidth, params.range)
+{
+    sim::simAssert(params.gamma >= 0.0 && params.gamma <= 1.0,
+                   "gamma must lie in [0, 1]");
+    sim::simAssert(params.shortDuration < params.longDuration,
+                   "short duration must be below long duration");
+}
+
+void
+LsthPolicy::recordInvocation(sim::Tick now)
+{
+    shortHist_.recordInvocation(now);
+    longHist_.recordInvocation(now);
+}
+
+KeepAliveDecision
+LsthPolicy::decide(sim::Tick now) const
+{
+    shortHist_.evict(now);
+    longHist_.evict(now);
+    bool short_ok = shortHist_.count() >= params_.minSamples;
+    bool long_ok = longHist_.count() >= params_.minSamples;
+    if (!short_ok && !long_ok)
+        return KeepAliveDecision{0, params_.fallbackKeepAlive};
+
+    double gamma = params_.gamma;
+    if (!long_ok)
+        gamma = 0.0; // trust only the short horizon
+    else if (!short_ok)
+        gamma = 1.0; // trust only the long horizon
+
+    auto blend = [gamma](sim::Tick l, sim::Tick s) {
+        return static_cast<sim::Tick>(std::llround(
+            gamma * static_cast<double>(l) +
+            (1.0 - gamma) * static_cast<double>(s)));
+    };
+
+    sim::Tick head =
+        blend(longHist_.percentileLower(params_.headPercentile),
+              shortHist_.percentileLower(params_.headPercentile));
+    sim::Tick tail = blend(longHist_.percentile(params_.tailPercentile),
+                           shortHist_.percentile(params_.tailPercentile));
+    return HybridHistogramPolicy::windowsFrom(head, tail, params_.margin);
+}
+
+std::string
+LsthPolicy::name() const
+{
+    std::ostringstream os;
+    os << "lsth(gamma=" << params_.gamma << ")";
+    return os.str();
+}
+
+PolicyFactory
+LsthPolicy::factory(LsthParams params)
+{
+    return [params]() { return std::make_unique<LsthPolicy>(params); };
+}
+
+} // namespace infless::coldstart

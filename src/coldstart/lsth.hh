@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Long-Short Term Histogram (LSTH) policy — the paper's contribution
+ * (§3.5).
+ *
+ * Inference request loads show long-term periodicity (diurnal patterns)
+ * *and* short-term bursts. A single tracked duration must pick between
+ * them: long durations react slowly to bursts and waste resources when
+ * the rate collapses; short durations miss the periodicity and raise the
+ * cold-start rate. LSTH keeps two histograms — short (1 h) and long
+ * (24 h) — and blends their heads and tails with a weight gamma:
+ *
+ *   pre-warm   = gamma * L_prewarm   + (1 - gamma) * S_prewarm
+ *   keep-alive = gamma * L_keepalive + (1 - gamma) * S_keepalive
+ */
+
+#ifndef INFLESS_COLDSTART_LSTH_HH
+#define INFLESS_COLDSTART_LSTH_HH
+
+#include "coldstart/hhp.hh"
+#include "coldstart/histogram.hh"
+#include "coldstart/policy.hh"
+
+namespace infless::coldstart {
+
+/** LSTH tunables. */
+struct LsthParams
+{
+    /** Short-term tracked duration (STB horizon). */
+    sim::Tick shortDuration = sim::kTicksPerHour;
+    /** Long-term tracked duration (LTP horizon). */
+    sim::Tick longDuration = 24 * sim::kTicksPerHour;
+    /** Blend weight toward the long-term histogram. */
+    double gamma = 0.5;
+    /** Histogram bin width. */
+    sim::Tick binWidth = sim::kTicksPerMin;
+    /** Histogram range; gaps beyond it overflow. */
+    sim::Tick range = 4 * sim::kTicksPerHour;
+    /** Head percentile. */
+    double headPercentile = 5.0;
+    /** Tail percentile. */
+    double tailPercentile = 99.0;
+    /** Safety margin, as in HHP. */
+    double margin = 0.15;
+    /** Minimum samples before trusting a histogram. */
+    std::size_t minSamples = 10;
+    /** Conservative keep-alive while both histograms are cold. */
+    sim::Tick fallbackKeepAlive = 4 * sim::kTicksPerHour;
+};
+
+/**
+ * The gamma-weighted two-horizon policy.
+ */
+class LsthPolicy : public KeepAlivePolicy
+{
+  public:
+    explicit LsthPolicy(LsthParams params = {});
+
+    void recordInvocation(sim::Tick now) override;
+    KeepAliveDecision decide(sim::Tick now) const override;
+    std::string name() const override;
+
+    const IdleTimeHistogram &shortHistogram() const { return shortHist_; }
+    const IdleTimeHistogram &longHistogram() const { return longHist_; }
+
+    static PolicyFactory factory(LsthParams params = {});
+
+  private:
+    LsthParams params_;
+    /** Mutable: decide() lazily evicts samples older than each window. */
+    mutable IdleTimeHistogram shortHist_;
+    mutable IdleTimeHistogram longHist_;
+};
+
+} // namespace infless::coldstart
+
+#endif // INFLESS_COLDSTART_LSTH_HH

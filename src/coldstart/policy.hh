@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Keep-alive / pre-warming policy interface (§3.5).
+ *
+ * After a function invocation at time t, a policy yields two windows:
+ *
+ *  - pre-warming window (pw): how long to wait after t before loading the
+ *    function image in expectation of the next invocation;
+ *  - keep-alive window (ka): how long the loaded image stays alive.
+ *
+ * The function is warm during [t + pw, t + pw + ka]. pw == 0 degenerates
+ * to a plain keep-alive policy. An invocation landing outside the warm
+ * interval is a cold start; warm time not ended by an invocation is idle
+ * resource waste.
+ */
+
+#ifndef INFLESS_COLDSTART_POLICY_HH
+#define INFLESS_COLDSTART_POLICY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace infless::coldstart {
+
+/** The two windows a policy controls. */
+struct KeepAliveDecision
+{
+    /** Wait after the last invocation before (re)loading the image. */
+    sim::Tick prewarmWindow = 0;
+    /** Lifetime of the loaded image. */
+    sim::Tick keepAliveWindow = 0;
+
+    /** Warm-interval start relative to the last invocation. */
+    sim::Tick warmStart() const { return prewarmWindow; }
+    /** Warm-interval end relative to the last invocation. */
+    sim::Tick warmEnd() const { return prewarmWindow + keepAliveWindow; }
+
+    /** Whether an idle gap of @p gap would stay warm. */
+    bool
+    covers(sim::Tick gap) const
+    {
+        return gap >= warmStart() && gap <= warmEnd();
+    }
+};
+
+/**
+ * Per-function policy deriving the windows from observed invocations.
+ */
+class KeepAlivePolicy
+{
+  public:
+    virtual ~KeepAlivePolicy() = default;
+
+    /** Observe one invocation of the function. */
+    virtual void recordInvocation(sim::Tick now) = 0;
+
+    /** Current windows, given the history observed so far. */
+    virtual KeepAliveDecision decide(sim::Tick now) const = 0;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Factory signature used by the platform to make per-function policies. */
+using PolicyFactory = std::function<std::unique_ptr<KeepAlivePolicy>()>;
+
+} // namespace infless::coldstart
+
+#endif // INFLESS_COLDSTART_POLICY_HH

@@ -1,0 +1,50 @@
+#include "core/autoscaler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace infless::core {
+
+std::vector<std::size_t>
+chooseDrains(const std::vector<InstanceRateInfo> &infos,
+             const std::vector<double> &weighted_cost, double measured_rps,
+             double alpha)
+{
+    sim::simAssert(infos.size() == weighted_cost.size(),
+                   "drain planning arity mismatch");
+    double r_max = 0.0;
+    double r_min = 0.0;
+    for (const auto &info : infos) {
+        r_max += info.rUp;
+        r_min += info.rLow;
+    }
+
+    // Candidate order: least efficient (r_up per resource) first.
+    std::vector<std::size_t> order(infos.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        double ea = weighted_cost[a] > 0.0 ? infos[a].rUp / weighted_cost[a]
+                                           : infos[a].rUp;
+        double eb = weighted_cost[b] > 0.0 ? infos[b].rUp / weighted_cost[b]
+                                           : infos[b].rUp;
+        return ea < eb;
+    });
+
+    std::vector<std::size_t> drains;
+    for (std::size_t idx : order) {
+        // Already back to case (ii) (or better)?
+        if (measured_rps >= alpha * r_min + (1.0 - alpha) * r_max)
+            break;
+        double new_max = r_max - infos[idx].rUp;
+        if (new_max < measured_rps)
+            continue; // removing this one would under-provision
+        r_max = new_max;
+        r_min -= infos[idx].rLow;
+        drains.push_back(idx);
+    }
+    return drains;
+}
+
+} // namespace infless::core

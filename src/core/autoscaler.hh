@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Scale-in planning: which instances to drain when the load drops.
+ *
+ * The auto-scaling engine's case (iii) releases extra instances so the
+ * function returns to case (ii). Drains are chosen lowest resource
+ * efficiency (r_up per weighted resource) first, never dropping the
+ * remaining aggregate capacity below the measured rate.
+ */
+
+#ifndef INFLESS_CORE_AUTOSCALER_HH
+#define INFLESS_CORE_AUTOSCALER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dispatcher.hh"
+
+namespace infless::core {
+
+/**
+ * Pick instance indices to drain.
+ *
+ * @param infos Rate windows of the live instances.
+ * @param weighted_cost Eq. 2 weighted resource cost of each instance.
+ * @param measured_rps Current function rate R.
+ * @param alpha The dispatcher's blend constant.
+ * @return Indices into @p infos to drain, in drain order.
+ */
+std::vector<std::size_t>
+chooseDrains(const std::vector<InstanceRateInfo> &infos,
+             const std::vector<double> &weighted_cost, double measured_rps,
+             double alpha);
+
+} // namespace infless::core
+
+#endif // INFLESS_CORE_AUTOSCALER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Batch-aware dispatching logic (§3.2).
+ *
+ * The dispatcher keeps each instance's assigned rate inside its
+ * [r_low, r_up] window. Given the measured function rate R and the
+ * instances' aggregate R_min/R_max, the three-case rule decides between
+ * scaling out (R > R_max), holding with interpolated per-instance
+ * targets, and scaling in (R below the alpha-blend threshold).
+ */
+
+#ifndef INFLESS_CORE_DISPATCHER_HH
+#define INFLESS_CORE_DISPATCHER_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace infless::core {
+
+/**
+ * Sliding-window arrival-rate estimator.
+ */
+class RateEstimator
+{
+  public:
+    explicit RateEstimator(sim::Tick window = 2 * sim::kTicksPerSec);
+
+    /** Observe one arrival. */
+    void record(sim::Tick now);
+
+    /** Arrivals per second over the trailing window. */
+    double rps(sim::Tick now) const;
+
+    sim::Tick window() const { return window_; }
+
+  private:
+    sim::Tick window_;
+    sim::Tick firstArrival_ = -1;
+    mutable std::deque<sim::Tick> arrivals_;
+};
+
+/** The rate window of one live instance. */
+struct InstanceRateInfo
+{
+    double rUp = 0.0;
+    double rLow = 0.0;
+};
+
+/** Outcome of the three-case rule. */
+struct ScalingAssessment
+{
+    enum class Action
+    {
+        ScaleOut, ///< case (i): R > R_max
+        Hold,     ///< case (ii)
+        ScaleIn   ///< case (iii): R < alpha*R_min + (1-alpha)*R_max
+    };
+
+    Action action = Action::Hold;
+    /** Rate the existing instances cannot absorb (case i only). */
+    double residualRps = 0.0;
+};
+
+/** Apply the three-case rule of §3.2. */
+ScalingAssessment assessScaling(double measured_rps, double r_max,
+                                double r_min, double alpha);
+
+/**
+ * Case (ii) per-instance target rates: interpolate each instance between
+ * its bounds by the global headroom fraction
+ * (R_max - R) / (R_max - R_min).
+ *
+ * The paper's Eq. divides by R_min, which underflows r_low whenever
+ * R_max - R > R_min; we use the (R_max - R_min) denominator that realizes
+ * the stated intent (r_i in proportion to the instance's range size, sum
+ * approximately R, each r_i within bounds).
+ */
+std::vector<double> targetRates(const std::vector<InstanceRateInfo> &infos,
+                                double measured_rps);
+
+/**
+ * Weighted-round-robin pick: the index minimizing served/weight, i.e. the
+ * instance furthest behind its target share. Entries with weight <= 0 or
+ * eligible[i] == false are skipped.
+ *
+ * @return Index into @p weights, or SIZE_MAX when nothing is eligible.
+ */
+std::size_t pickWeighted(const std::vector<double> &weights,
+                         const std::vector<double> &served,
+                         const std::vector<bool> &eligible);
+
+} // namespace infless::core
+
+#endif // INFLESS_CORE_DISPATCHER_HH

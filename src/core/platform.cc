@@ -1,0 +1,1002 @@
+#include "core/platform.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "coldstart/lsth.hh"
+#include "core/autoscaler.hh"
+#include "sim/logging.hh"
+
+namespace infless::core {
+
+Platform::Platform(std::size_t num_servers, PlatformOptions opts)
+    : Platform(cluster::Cluster(num_servers), std::move(opts))
+{
+}
+
+Platform::Platform(cluster::Cluster machines, PlatformOptions opts)
+    : sim_(opts.seed), cluster_(std::move(machines)),
+      zoo_(models::ModelZoo::shared()), exec_(opts.exec),
+      profileDb_(exec_), predictor_(profileDb_, opts.cop),
+      scheduler_(predictor_, opts.scheduler), runtime_(opts.coldStart),
+      opts_(std::move(opts))
+{
+    if (!opts_.keepAlive)
+        opts_.keepAlive = coldstart::LsthPolicy::factory();
+    scalerHandle_ = sim_.every(opts_.scalerPeriod, [this] { scalerTick(); });
+}
+
+Platform::~Platform() = default;
+
+FunctionId
+Platform::deploy(const FunctionSpec &spec)
+{
+    sim::simAssert(spec.maxBatch >= 1, "maxBatch must be >= 1");
+    FunctionState state(opts_.rateWindow);
+    state.spec = spec;
+    state.model = &zoo_.get(spec.model);
+    state.spec.maxBatch = std::min(spec.maxBatch, state.model->maxBatch);
+    state.policy = opts_.keepAlive();
+    functions_.push_back(std::move(state));
+    return static_cast<FunctionId>(functions_.size() - 1);
+}
+
+ChainId
+Platform::deployChain(const ChainSpec &spec)
+{
+    sim::simAssert(!spec.models.empty(), "chain needs at least one stage");
+    sim::simAssert(spec.sloTicks > 0, "chain SLO must be positive");
+
+    // Split the end-to-end SLO into per-stage budgets. Proportional
+    // splitting weighs stages by their predicted single-sample execution
+    // time on a reference configuration, so slow stages get more room to
+    // batch.
+    const cluster::Resources reference{2000, 10, 0};
+    std::vector<double> weights;
+    for (const auto &name : spec.models) {
+        const auto &model = zoo_.get(name);
+        double weight =
+            spec.split == SloSplit::Equal
+                ? 1.0
+                : static_cast<double>(
+                      predictor_.predict(model, 1, reference));
+        weights.push_back(weight);
+    }
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+
+    ChainState state;
+    state.spec = spec;
+    auto chain = static_cast<ChainId>(chains_.size());
+    for (std::size_t stage = 0; stage < spec.models.size(); ++stage) {
+        FunctionSpec fn_spec;
+        fn_spec.name = spec.name + "-stage" + std::to_string(stage);
+        fn_spec.model = spec.models[stage];
+        fn_spec.sloTicks = std::max<sim::Tick>(
+            10 * sim::kTicksPerMs,
+            static_cast<sim::Tick>(static_cast<double>(spec.sloTicks) *
+                                   weights[stage] / total));
+        fn_spec.maxBatch = spec.maxBatch;
+        FunctionId fn = deploy(fn_spec);
+        functionState(fn).chain = chain;
+        functionState(fn).stage = static_cast<int>(stage);
+        state.stages.push_back(fn);
+    }
+    chains_.push_back(std::move(state));
+    return chain;
+}
+
+const metrics::RunMetrics &
+Platform::chainMetrics(ChainId chain) const
+{
+    sim::simAssert(chain >= 0 &&
+                       static_cast<std::size_t>(chain) < chains_.size(),
+                   "bad chain id ", chain);
+    return chains_[static_cast<std::size_t>(chain)].metrics;
+}
+
+const std::vector<FunctionId> &
+Platform::chainStages(ChainId chain) const
+{
+    sim::simAssert(chain >= 0 &&
+                       static_cast<std::size_t>(chain) < chains_.size(),
+                   "bad chain id ", chain);
+    return chains_[static_cast<std::size_t>(chain)].stages;
+}
+
+void
+Platform::injectChainTrace(ChainId chain, workload::ArrivalTrace trace)
+{
+    injectTrace(chainStages(chain).front(), std::move(trace));
+}
+
+void
+Platform::injectChainRateSeries(ChainId chain,
+                                const workload::RateSeries &series)
+{
+    injectRateSeries(chainStages(chain).front(), series);
+}
+
+Platform::FunctionState &
+Platform::functionState(FunctionId fn)
+{
+    sim::simAssert(fn >= 0 &&
+                       static_cast<std::size_t>(fn) < functions_.size(),
+                   "bad function id ", fn);
+    return functions_[static_cast<std::size_t>(fn)];
+}
+
+const FunctionSpec &
+Platform::spec(FunctionId fn) const
+{
+    return const_cast<Platform *>(this)->functionState(fn).spec;
+}
+
+const metrics::RunMetrics &
+Platform::functionMetrics(FunctionId fn) const
+{
+    return const_cast<Platform *>(this)->functionState(fn).metrics;
+}
+
+void
+Platform::injectTrace(FunctionId fn, workload::ArrivalTrace trace)
+{
+    functionState(fn); // validate the id
+    feeds_.push_back(TraceFeed{fn, std::move(trace), 0});
+    scheduleNextArrival(feeds_.size() - 1);
+}
+
+void
+Platform::injectRateSeries(FunctionId fn,
+                           const workload::RateSeries &series)
+{
+    sim::Rng rng = sim_.forkRng(static_cast<std::uint64_t>(fn) + 0x77);
+    injectTrace(fn, workload::ArrivalTrace::fromRateSeries(series, rng));
+}
+
+void
+Platform::scheduleNextArrival(std::size_t feed_idx)
+{
+    TraceFeed &feed = feeds_[feed_idx];
+    if (feed.cursor >= feed.trace.size())
+        return;
+    sim::Tick when = feed.trace.arrivals()[feed.cursor];
+    sim_.at(std::max(when, sim_.now()), [this, feed_idx] {
+        TraceFeed &f = feeds_[feed_idx];
+        ++f.cursor;
+        onArrival(f.fn);
+        scheduleNextArrival(feed_idx);
+    });
+}
+
+void
+Platform::run(sim::Tick until)
+{
+    endTime_ = until;
+    sim_.runUntil(until);
+}
+
+double
+Platform::meanFragmentRatio() const
+{
+    return fragRatio_.meanUntil(endTime_ > 0 ? endTime_ : sim_.now());
+}
+
+std::vector<ConfigUsage>
+Platform::configUsage(FunctionId fn) const
+{
+    return const_cast<Platform *>(this)->functionState(fn).usage;
+}
+
+int
+Platform::liveInstanceCount(FunctionId fn) const
+{
+    return static_cast<int>(
+        const_cast<Platform *>(this)->functionState(fn).live.size());
+}
+
+std::vector<InstanceSnapshot>
+Platform::instanceSnapshots(FunctionId fn) const
+{
+    const FunctionState &f =
+        const_cast<Platform *>(this)->functionState(fn);
+    std::vector<InstanceSnapshot> snapshots;
+    snapshots.reserve(f.live.size());
+    for (std::size_t idx : f.live) {
+        const InstanceRuntime &rt = instances_[idx];
+        InstanceSnapshot snap;
+        snap.id = rt.inst.id();
+        snap.function = fn;
+        snap.config = rt.inst.config();
+        snap.server = rt.inst.serverId();
+        snap.state = rt.inst.state();
+        snap.draining = rt.draining;
+        snap.targetRate = rt.targetRate;
+        snap.rUp = rt.bounds.up;
+        snap.rLow = rt.bounds.low;
+        snap.queueDepth = rt.queue.size();
+        snapshots.push_back(snap);
+    }
+    return snapshots;
+}
+
+int
+Platform::liveInstanceCount() const
+{
+    int total = 0;
+    for (const auto &f : functions_)
+        total += static_cast<int>(f.live.size());
+    return total;
+}
+
+std::int64_t
+Platform::totalLaunches() const
+{
+    return total_.launches();
+}
+
+// ---------------------------------------------------------------------------
+// Arrival and routing
+// ---------------------------------------------------------------------------
+
+void
+Platform::onArrival(FunctionId fn)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+
+    auto request = static_cast<RequestIndex>(requests_.size());
+    RequestRecord record;
+    record.function = fn;
+    record.arrival = now;
+    record.rootArrival = now;
+    record.chain = f.chain;
+    record.stage = f.stage;
+    requests_.push_back(record);
+
+    if (f.chain != kNoChain && f.stage == 0) {
+        chains_[static_cast<std::size_t>(f.chain)].metrics.recordArrival(
+            now);
+    }
+    ingestRequest(fn, request);
+}
+
+void
+Platform::ingestRequest(FunctionId fn, RequestIndex request)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+    f.metrics.recordArrival(now);
+    total_.recordArrival(now);
+    f.rate.record(now);
+    f.policy->recordInvocation(now);
+    f.lastInvocation = now;
+
+    sim::Tick delay = ingressDelay();
+    if (delay > 0) {
+        sim_.after(delay, [this, fn, request] {
+            routeRequest(fn, request);
+        });
+    } else {
+        routeRequest(fn, request);
+    }
+}
+
+void
+Platform::routeRequest(FunctionId fn, RequestIndex request)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+
+    // Draining instances stop receiving traffic, but serve as a fallback
+    // while replacements are still cold-starting (make-before-break).
+    auto pick = [&](bool include_draining) -> std::size_t {
+        constexpr auto kNone = std::numeric_limits<std::size_t>::max();
+        auto is_eligible = [&](const InstanceRuntime &rt) {
+            if (rt.draining && !include_draining)
+                return false;
+            if (!rt.queue.hasRoom())
+                return false;
+            if (oneToOne()) {
+                return rt.queue.empty() &&
+                       rt.inst.state() != cluster::InstanceState::Busy;
+            }
+            return true;
+        };
+        if (packRouting()) {
+            for (std::size_t idx : f.live) {
+                if (is_eligible(instances_[idx]))
+                    return idx;
+            }
+            return kNone;
+        }
+        std::vector<double> weights, served;
+        std::vector<bool> eligible;
+        weights.reserve(f.live.size());
+        for (std::size_t idx : f.live) {
+            const InstanceRuntime &rt = instances_[idx];
+            weights.push_back(rt.targetRate > 0.0 ? rt.targetRate
+                                                  : rt.bounds.up);
+            served.push_back(rt.servedInEpoch);
+            eligible.push_back(is_eligible(rt));
+        }
+        std::size_t local = pickWeighted(weights, served, eligible);
+        return local == kNone ? kNone : f.live[local];
+    };
+
+    std::size_t idx = pick(false);
+    if (idx == std::numeric_limits<std::size_t>::max())
+        idx = pick(true);
+    if (idx == std::numeric_limits<std::size_t>::max() &&
+        now >= f.reconfigHold &&
+        now - f.lastReactive >= opts_.reactiveBackoff) {
+        // Reactive scale-out: the scaler tick has not caught up yet.
+        f.lastReactive = now;
+        double measured = f.rate.rps(now);
+        double residual = std::max(measured - aggregateRUp(f), 1.0);
+        auto plans = planScaleOut(f, residual);
+        for (const auto &plan : plans)
+            launchInstance(fn, plan, false);
+        if (!plans.empty())
+            refreshTargets(f);
+        idx = pick(false);
+        if (idx == std::numeric_limits<std::size_t>::max())
+            idx = pick(true);
+    }
+    if (idx == std::numeric_limits<std::size_t>::max()) {
+        f.metrics.recordDrop(now);
+        total_.recordDrop(now);
+        const RequestRecord &record =
+            requests_[static_cast<std::size_t>(request)];
+        if (record.chain != kNoChain) {
+            chains_[static_cast<std::size_t>(record.chain)]
+                .metrics.recordDrop(now);
+        }
+        return;
+    }
+
+    InstanceRuntime &rt = instances_[idx];
+    bool pushed = rt.queue.push(request, now);
+    sim::simAssert(pushed, "push failed on eligible instance");
+    rt.servedInEpoch += 1.0;
+    if (rt.queue.size() == 1)
+        armTimeout(idx);
+    tryStartBatch(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+// ---------------------------------------------------------------------------
+
+void
+Platform::tryStartBatch(std::size_t idx)
+{
+    InstanceRuntime &rt = instances_[idx];
+    if (rt.inst.state() != cluster::InstanceState::Idle)
+        return;
+    if (rt.queue.empty())
+        return;
+    if (rt.queue.hasFullBatch() || rt.queue.headDeadline() <= sim_.now())
+        startBatch(idx);
+}
+
+void
+Platform::startBatch(std::size_t idx)
+{
+    sim::Tick now = sim_.now();
+    InstanceRuntime &rt = instances_[idx];
+    FunctionState &f = functionState(rt.fn);
+
+    std::vector<RequestIndex> batch = rt.queue.takeBatch();
+    int fill = static_cast<int>(batch.size());
+    sim::Tick exec_time =
+        exec_.trueTicks(*f.model, fill, rt.inst.config().resources);
+
+    rt.inst.startBatch(now, fill);
+    f.metrics.recordBatch(fill);
+    total_.recordBatch(fill);
+    f.usage[rt.usageKey].requestsServed += fill;
+
+    if (rt.timeoutEvent != sim::kNoEvent) {
+        sim_.events().cancel(rt.timeoutEvent);
+        rt.timeoutEvent = sim::kNoEvent;
+    }
+    if (rt.expiryEvent != sim::kNoEvent && !rt.fastReap) {
+        sim_.events().cancel(rt.expiryEvent);
+        rt.expiryEvent = sim::kNoEvent;
+    }
+
+    sim_.after(exec_time,
+               [this, idx, batch = std::move(batch), now, exec_time] {
+                   onBatchComplete(idx, batch, now, exec_time);
+               });
+}
+
+void
+Platform::onBatchComplete(std::size_t idx, std::vector<RequestIndex> batch,
+                          sim::Tick started, sim::Tick exec_time)
+{
+    InstanceRuntime &rt = instances_[idx];
+    rt.inst.finishBatch(sim_.now());
+    for (RequestIndex request : batch)
+        completeRequest(idx, request, started, exec_time);
+
+    if (rt.reapAsap) {
+        // Forced hand-over: re-route whatever queued behind this batch
+        // and free the resources for the replacement fleet.
+        FunctionId fn = rt.fn;
+        std::vector<RequestIndex> stranded = rt.queue.drain();
+        reapInstance(idx);
+        for (RequestIndex request : stranded)
+            routeRequest(fn, request);
+        return;
+    }
+
+    tryStartBatch(idx);
+    if (rt.inst.state() == cluster::InstanceState::Idle &&
+        rt.queue.empty()) {
+        armExpiry(idx);
+    }
+}
+
+void
+Platform::completeRequest(std::size_t idx, RequestIndex request,
+                          sim::Tick started, sim::Tick exec_time)
+{
+    const InstanceRuntime &rt = instances_[idx];
+    RequestRecord &record = requests_[static_cast<std::size_t>(request)];
+    FunctionState &f = functionState(record.function);
+
+    sim::Tick cold = 0;
+    if (rt.warmAt != sim::kTickNever && rt.warmAt > record.arrival)
+        cold = std::min(started, rt.warmAt) - record.arrival;
+    sim::Tick queue_time =
+        std::max<sim::Tick>(0, started - record.arrival - cold);
+
+    metrics::LatencyBreakdown parts{cold, queue_time, exec_time};
+    f.metrics.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
+    total_.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
+
+    if (record.chain != kNoChain) {
+        record.coldAccum += cold;
+        record.queueAccum += queue_time;
+        record.execAccum += exec_time;
+        advanceChain(request, sim_.now());
+    }
+}
+
+void
+Platform::advanceChain(RequestIndex request, sim::Tick now)
+{
+    const RequestRecord &record =
+        requests_[static_cast<std::size_t>(request)];
+    ChainState &chain = chains_[static_cast<std::size_t>(record.chain)];
+
+    auto next_stage = static_cast<std::size_t>(record.stage) + 1;
+    if (next_stage < chain.stages.size()) {
+        FunctionId next_fn = chain.stages[next_stage];
+        auto next = static_cast<RequestIndex>(requests_.size());
+        RequestRecord forwarded;
+        forwarded.function = next_fn;
+        forwarded.arrival = now;
+        forwarded.chain = record.chain;
+        forwarded.stage = static_cast<int>(next_stage);
+        forwarded.rootArrival = record.rootArrival;
+        forwarded.coldAccum = record.coldAccum;
+        forwarded.queueAccum = record.queueAccum;
+        forwarded.execAccum = record.execAccum;
+        requests_.push_back(forwarded);
+        ingestRequest(next_fn, next);
+        return;
+    }
+
+    metrics::LatencyBreakdown parts{record.coldAccum, record.queueAccum,
+                                    record.execAccum};
+    chain.metrics.recordCompletion(now, parts, chain.spec.sloTicks);
+}
+
+void
+Platform::onWarm(std::size_t idx)
+{
+    InstanceRuntime &rt = instances_[idx];
+    if (rt.inst.state() == cluster::InstanceState::Reaped)
+        return; // reaped while cold-starting
+    rt.inst.becomeWarm(sim_.now());
+    rt.warmAt = sim_.now();
+    tryStartBatch(idx);
+    if (rt.inst.state() == cluster::InstanceState::Idle &&
+        rt.queue.empty()) {
+        armExpiry(idx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void
+Platform::armTimeout(std::size_t idx)
+{
+    InstanceRuntime &rt = instances_[idx];
+    if (rt.timeoutEvent != sim::kNoEvent) {
+        sim_.events().cancel(rt.timeoutEvent);
+        rt.timeoutEvent = sim::kNoEvent;
+    }
+    sim::Tick deadline = rt.queue.headDeadline();
+    if (deadline == sim::kTickNever)
+        return;
+    sim::Tick when = std::max(sim_.now(), deadline);
+    rt.timeoutEvent = sim_.at(when, [this, idx] {
+        instances_[idx].timeoutEvent = sim::kNoEvent;
+        tryStartBatch(idx);
+    });
+}
+
+void
+Platform::armExpiry(std::size_t idx)
+{
+    InstanceRuntime &rt = instances_[idx];
+    if (rt.expiryEvent != sim::kNoEvent) {
+        sim_.events().cancel(rt.expiryEvent);
+        rt.expiryEvent = sim::kNoEvent;
+    }
+    FunctionState &f = functionState(rt.fn);
+    sim::Tick wait;
+    if (rt.fastReap) {
+        // Replaced by a reconfiguration: a short grace period covers the
+        // hand-over while the replacement instances warm up.
+        wait = 3 * sim::kTicksPerSec;
+    } else {
+        coldstart::KeepAliveDecision decision =
+            f.policy->decide(sim_.now());
+        sim::Tick keep_alive = std::max<sim::Tick>(
+            decision.keepAliveWindow, sim::kTicksPerSec);
+        // The policy's window may shrink as its histograms mature, so
+        // long waits are re-checked at minute granularity instead of
+        // sleeping the whole window on a stale decision.
+        wait = std::min<sim::Tick>(keep_alive, sim::kTicksPerMin);
+    }
+    rt.expiryEvent = sim_.at(sim_.now() + wait, [this, idx] {
+        InstanceRuntime &r = instances_[idx];
+        r.expiryEvent = sim::kNoEvent;
+        if (r.inst.state() != cluster::InstanceState::Idle ||
+            !r.queue.empty()) {
+            if (r.fastReap) {
+                // Still serving as fallback: reap at the next batch
+                // boundary so the replacement can claim the resources.
+                r.reapAsap = true;
+            }
+            return;
+        }
+        if (r.fastReap) {
+            reapInstance(idx);
+            return;
+        }
+        // Reap only when the *current* keep-alive window has elapsed
+        // since the last activity; otherwise keep checking.
+        FunctionState &fs = functionState(r.fn);
+        sim::Tick keep_alive = std::max<sim::Tick>(
+            fs.policy->decide(sim_.now()).keepAliveWindow,
+            sim::kTicksPerSec);
+        if (sim_.now() - r.inst.lastActive() >= keep_alive)
+            reapInstance(idx);
+        else
+            armExpiry(idx);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Instance lifecycle
+// ---------------------------------------------------------------------------
+
+std::size_t
+Platform::usageKeyFor(FunctionState &f,
+                      const cluster::InstanceConfig &config)
+{
+    auto key = std::make_tuple(config.batchSize,
+                               config.resources.cpuMillicores,
+                               config.resources.gpuSmPercent);
+    auto it = f.usageIndex.find(key);
+    if (it != f.usageIndex.end())
+        return it->second;
+    f.usage.push_back(ConfigUsage{config, 0, 0});
+    std::size_t idx = f.usage.size() - 1;
+    f.usageIndex.emplace(key, idx);
+    return idx;
+}
+
+std::size_t
+Platform::launchInstance(FunctionId fn, const LaunchPlan &plan,
+                         bool prewarmed_launch)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+    bool cold = !prewarmed_launch;
+    sim::Tick startup = cold
+                            ? runtime_.coldStartTicks(f.model->sizeMb)
+                            : runtime_.warmStartTicks();
+    sim::Tick max_wait =
+        std::max<sim::Tick>(0, f.spec.sloTicks - plan.execPredicted);
+
+    std::size_t idx = instances_.size();
+    instances_.push_back(InstanceRuntime{
+        cluster::Instance(nextInstanceId_++, f.spec.name, plan.config,
+                          plan.server, now, cold),
+        BatchQueue(plan.config.batchSize, max_wait), plan.bounds,
+        plan.execPredicted});
+    InstanceRuntime &rt = instances_.back();
+    rt.targetRate = plan.bounds.up;
+    rt.prewarmed = prewarmed_launch;
+    rt.fn = fn;
+    rt.generation = f.generation;
+    rt.usageKey = usageKeyFor(f, plan.config);
+    f.usage[rt.usageKey].launches += 1;
+
+    f.live.push_back(idx);
+    f.allocated += plan.config.resources;
+    f.metrics.recordLaunch(cold);
+    total_.recordLaunch(cold);
+    f.metrics.recordAllocation(now, f.allocated);
+    f.metrics.recordInstanceCount(now, static_cast<int>(f.live.size()));
+    total_.recordInstanceCount(now, liveInstanceCount());
+    recordAllocationChange();
+
+    sim_.after(startup, [this, idx] { onWarm(idx); });
+    return idx;
+}
+
+void
+Platform::reapInstance(std::size_t idx)
+{
+    sim::Tick now = sim_.now();
+    InstanceRuntime &rt = instances_[idx];
+    FunctionState &f = functionState(rt.fn);
+
+    // Requests stranded in the queue (should not happen on the idle path,
+    // but guard anyway) count as drops.
+    for (RequestIndex request : rt.queue.drain()) {
+        f.metrics.recordDrop(now);
+        total_.recordDrop(now);
+        const RequestRecord &record =
+            requests_[static_cast<std::size_t>(request)];
+        if (record.chain != kNoChain) {
+            chains_[static_cast<std::size_t>(record.chain)]
+                .metrics.recordDrop(now);
+        }
+    }
+    if (rt.timeoutEvent != sim::kNoEvent) {
+        sim_.events().cancel(rt.timeoutEvent);
+        rt.timeoutEvent = sim::kNoEvent;
+    }
+    if (rt.expiryEvent != sim::kNoEvent) {
+        sim_.events().cancel(rt.expiryEvent);
+        rt.expiryEvent = sim::kNoEvent;
+    }
+
+    rt.inst.reap(now);
+    cluster_.release(rt.inst.serverId(), rt.inst.config().resources);
+    f.allocated -= rt.inst.config().resources;
+    std::erase(f.live, idx);
+
+    f.metrics.recordAllocation(now, f.allocated);
+    f.metrics.recordInstanceCount(now, static_cast<int>(f.live.size()));
+    total_.recordInstanceCount(now, liveInstanceCount());
+    recordAllocationChange();
+
+    if (f.live.empty())
+        maybePrewarm(rt.fn);
+}
+
+void
+Platform::maybePrewarm(FunctionId fn)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+    if (f.prewarmEvent != sim::kNoEvent || f.lastInvocation < 0)
+        return;
+    coldstart::KeepAliveDecision decision = f.policy->decide(now);
+    if (decision.prewarmWindow <= 0)
+        return;
+    sim::Tick when = f.lastInvocation + decision.prewarmWindow;
+    if (when <= now)
+        return;
+    f.prewarmEvent = sim_.at(when, [this, fn] {
+        FunctionState &fs = functionState(fn);
+        fs.prewarmEvent = sim::kNoEvent;
+        if (!fs.live.empty())
+            return;
+        // Smallest feasible single-request configuration, best-fit placed.
+        auto candidates = scheduler_.availableConfigs(
+            *fs.model, 1, 1.0, fs.spec.sloTicks);
+        if (candidates.empty())
+            return;
+        const CandidateConfig *best = nullptr;
+        double best_cost = std::numeric_limits<double>::max();
+        for (const auto &cand : candidates) {
+            double cost = cand.config.resources.weighted(
+                opts_.scheduler.beta);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = &cand;
+            }
+        }
+        cluster::ServerId server =
+            cluster_.firstFit(best->config.resources);
+        if (server == cluster::kNoServer)
+            return;
+        bool ok = cluster_.allocate(server, best->config.resources);
+        sim::simAssert(ok, "prewarm allocation failed after fit check");
+        LaunchPlan plan{best->config, server, best->execPredicted,
+                        best->bounds};
+        launchInstance(fn, plan, true);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Auto-scaling engine
+// ---------------------------------------------------------------------------
+
+double
+Platform::aggregateRUp(const FunctionState &f) const
+{
+    double total = 0.0;
+    for (std::size_t idx : f.live) {
+        const InstanceRuntime &rt = instances_[idx];
+        if (!rt.draining)
+            total += rt.bounds.up;
+    }
+    return total;
+}
+
+void
+Platform::refreshTargets(FunctionState &f)
+{
+    std::vector<InstanceRateInfo> infos;
+    std::vector<std::size_t> mapping;
+    for (std::size_t idx : f.live) {
+        InstanceRuntime &rt = instances_[idx];
+        rt.servedInEpoch = 0.0;
+        if (rt.draining) {
+            rt.targetRate = 0.0;
+            continue;
+        }
+        infos.push_back(InstanceRateInfo{rt.bounds.up, rt.bounds.low});
+        mapping.push_back(idx);
+    }
+    if (infos.empty())
+        return;
+    std::vector<double> rates =
+        targetRates(infos, f.rate.rps(sim_.now()));
+    for (std::size_t i = 0; i < mapping.size(); ++i)
+        instances_[mapping[i]].targetRate = rates[i];
+}
+
+void
+Platform::scalerTick()
+{
+    sim::Tick now = sim_.now();
+    // Rotate the function order each tick so no single function gets a
+    // standing first claim on freed resources.
+    std::size_t offset =
+        functions_.empty()
+            ? 0
+            : static_cast<std::size_t>(now / opts_.scalerPeriod) %
+                  functions_.size();
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+        std::size_t fi = (i + offset) % functions_.size();
+        FunctionState &f = functions_[fi];
+        double measured = f.rate.rps(now);
+
+        std::vector<InstanceRateInfo> infos;
+        std::vector<double> costs;
+        std::vector<std::size_t> mapping;
+        double r_max = 0.0;
+        double r_min = 0.0;
+        for (std::size_t idx : f.live) {
+            const InstanceRuntime &rt = instances_[idx];
+            if (rt.draining)
+                continue;
+            infos.push_back(
+                InstanceRateInfo{rt.bounds.up, rt.bounds.low});
+            costs.push_back(rt.inst.config().resources.weighted(
+                opts_.scheduler.beta));
+            mapping.push_back(idx);
+            r_max += rt.bounds.up;
+            r_min += rt.bounds.low;
+        }
+
+        if (now < f.reconfigHold) {
+            // Mid-reconfiguration: advance the rolling replacement and
+            // suppress ordinary scaling decisions.
+            continueReconfigure(static_cast<FunctionId>(fi), measured);
+            refreshTargets(f);
+            continue;
+        }
+
+        ScalingAssessment assess =
+            assessScaling(measured, r_max, r_min, opts_.alpha);
+        using Action = ScalingAssessment::Action;
+        if (assess.action == Action::ScaleOut &&
+            assess.residualRps > 0.01) {
+            // Cap the per-tick claim: growing in bounded slices keeps one
+            // under-provisioned function from grabbing the whole cluster
+            // in a single tick and starving its peers.
+            double claim = std::min(assess.residualRps,
+                                    std::max(measured * 0.25, 50.0));
+            auto plans = planScaleOut(f, claim);
+            for (const auto &plan : plans)
+                launchInstance(static_cast<FunctionId>(fi), plan, false);
+            if (plans.empty() && reconfigures()) {
+                // Nothing fits next to the current fleet: replacing it
+                // with better configurations may be the only way to grow.
+                maybeReconfigure(static_cast<FunctionId>(fi), measured);
+            }
+        } else if (assess.action == Action::ScaleIn && activeScaleIn()) {
+            auto drains =
+                chooseDrains(infos, costs, measured, opts_.alpha);
+            for (std::size_t local : drains) {
+                InstanceRuntime &rt = instances_[mapping[local]];
+                // The keep-alive policy owns the pre-warmed pool: an
+                // unused pre-warmed instance expires through its windows,
+                // not through load-driven scale-in.
+                if (rt.prewarmed && rt.inst.requestsServed() == 0)
+                    continue;
+                rt.draining = true;
+                if (rt.inst.state() == cluster::InstanceState::Idle &&
+                    rt.queue.empty()) {
+                    armExpiry(mapping[local]);
+                }
+            }
+        } else if (assess.action == Action::Hold && reconfigures()) {
+            maybeReconfigure(static_cast<FunctionId>(fi), measured);
+        }
+        refreshTargets(f);
+    }
+}
+
+void
+Platform::maybeReconfigure(FunctionId fn, double measured)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+    if (measured <= 1.0 || now - f.lastReconfig < opts_.reconfigPeriod)
+        return;
+    f.lastReconfig = now;
+
+    // Current fleet cost per unit of absorbable rate.
+    double cur_cost = 0.0;
+    double cur_up = 0.0;
+    bool have_old = false;
+    for (std::size_t idx : f.live) {
+        const InstanceRuntime &rt = instances_[idx];
+        if (rt.draining)
+            continue;
+        cur_cost += rt.inst.config().resources.weighted(
+            opts_.scheduler.beta);
+        cur_up += rt.bounds.up;
+        have_old = true;
+    }
+    if (cur_up <= 0.0 || !have_old)
+        return;
+
+    // What would Algorithm 1 provision for the measured rate on an empty
+    // cluster? (The old fleet may occupy most of the machines, so the
+    // ideal is evaluated on a scratch clone.)
+    cluster::Cluster scratch(cluster_.capacities());
+    auto ideal = scheduler_.schedule(*f.model, measured, f.spec.sloTicks,
+                                     f.spec.maxBatch, scratch);
+    double ideal_cost = 0.0;
+    double ideal_up = 0.0;
+    for (const auto &plan : ideal) {
+        ideal_cost += plan.config.resources.weighted(opts_.scheduler.beta);
+        ideal_up += plan.bounds.up;
+    }
+    // Compare cost per *usable* unit of rate: capacity beyond the
+    // measured rate is over-provisioning on either side.
+    double ideal_usable = std::min(ideal_up, measured);
+    double cur_usable = std::min(cur_up, measured);
+    bool worthwhile = ideal_up >= measured * 0.95 && ideal_usable > 0.0 &&
+                      ideal_cost / ideal_usable <
+                          (cur_cost / cur_usable) *
+                              (1.0 - opts_.reconfigGain);
+    if (!worthwhile)
+        return;
+
+    // Enter the rolling replacement: bump the fleet generation (the
+    // survivors become "old"), suppress ordinary scaling until done, and
+    // advance the first slice immediately.
+    ++f.generation;
+    f.reconfigHold = now + 20 * sim::kTicksPerSec;
+    continueReconfigure(fn, measured);
+}
+
+void
+Platform::continueReconfigure(FunctionId fn, double measured)
+{
+    FunctionState &f = functionState(fn);
+
+    // Capacity already provided by the new generation.
+    double new_up = 0.0;
+    std::vector<std::size_t> old_instances;
+    for (std::size_t idx : f.live) {
+        const InstanceRuntime &rt = instances_[idx];
+        if (rt.generation == f.generation && !rt.draining) {
+            new_up += rt.bounds.up;
+        } else if (!rt.draining) {
+            old_instances.push_back(idx);
+        }
+    }
+
+    double need = measured - new_up;
+    if (need <= 1.0 || old_instances.empty()) {
+        // Replacement complete: retire whatever old capacity remains.
+        for (std::size_t idx : old_instances) {
+            InstanceRuntime &rt = instances_[idx];
+            rt.draining = true;
+            rt.fastReap = true;
+            armExpiry(idx);
+        }
+        f.reconfigHold = 0;
+        return;
+    }
+
+    // Launch the next slice into whatever room exists; new instances
+    // carry the current generation.
+    auto plans = scheduler_.schedule(*f.model, need, f.spec.sloTicks,
+                                     f.spec.maxBatch, cluster_);
+    double planned_up = 0.0;
+    for (const auto &plan : plans) {
+        planned_up += plan.bounds.up;
+        launchInstance(fn, plan, false);
+    }
+
+    // Retire old capacity matching the slice (least efficient first), or
+    // a quarter of the old fleet when nothing fit, to force headroom.
+    double old_up = 0.0;
+    for (std::size_t idx : old_instances)
+        old_up += instances_[idx].bounds.up;
+    double retire_up =
+        plans.empty() ? 0.25 * old_up : std::min(planned_up, old_up);
+
+    std::sort(old_instances.begin(), old_instances.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const auto &ra = instances_[a];
+                  const auto &rb = instances_[b];
+                  double ea = ra.bounds.up /
+                              ra.inst.config().resources.weighted(
+                                  opts_.scheduler.beta);
+                  double eb = rb.bounds.up /
+                              rb.inst.config().resources.weighted(
+                                  opts_.scheduler.beta);
+                  return ea < eb;
+              });
+    double retired = 0.0;
+    for (std::size_t idx : old_instances) {
+        if (retired >= retire_up)
+            break;
+        InstanceRuntime &rt = instances_[idx];
+        rt.draining = true;
+        rt.fastReap = true;
+        retired += rt.bounds.up;
+        armExpiry(idx);
+    }
+}
+
+std::vector<LaunchPlan>
+Platform::planScaleOut(FunctionState &f, double residual_rps)
+{
+    return scheduler_.schedule(*f.model, residual_rps, f.spec.sloTicks,
+                               f.spec.maxBatch, cluster_);
+}
+
+void
+Platform::recordAllocationChange()
+{
+    sim::Tick now = sim_.now();
+    total_.recordAllocation(now, cluster_.totalAllocated());
+    fragRatio_.update(now, cluster_.fragmentRatio(opts_.scheduler.beta));
+}
+
+} // namespace infless::core

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * The serverless inference platform (Fig. 4).
+ *
+ * Platform ties every subsystem together: functions deploy with an SLO,
+ * request traces inject arrival events, the batch-aware dispatcher routes
+ * requests into per-instance queues, the auto-scaling engine launches and
+ * drains instances via the greedy scheduler, and the keep-alive policy
+ * governs pre-warming and reaping.
+ *
+ * The baselines (OpenFaaS+, BATCH) subclass Platform and override the
+ * protected policy hooks; the simulation engine, batching machinery and
+ * accounting are shared, mirroring how the paper re-hosts BATCH on
+ * OpenFaaS for a fair comparison.
+ */
+
+#ifndef INFLESS_CORE_PLATFORM_HH
+#define INFLESS_CORE_PLATFORM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "cluster/container_runtime.hh"
+#include "cluster/instance.hh"
+#include "coldstart/lsth.hh"
+#include "coldstart/policy.hh"
+#include "core/batch_queue.hh"
+#include "core/dispatcher.hh"
+#include "core/scheduler.hh"
+#include "core/types.hh"
+#include "metrics/collector.hh"
+#include "models/exec_model.hh"
+#include "models/model_zoo.hh"
+#include "profiler/cop.hh"
+#include "profiler/op_profile_db.hh"
+#include "sim/simulation.hh"
+#include "workload/trace.hh"
+
+namespace infless::core {
+
+/** Everything tunable about a platform run. */
+struct PlatformOptions
+{
+    /** Dispatcher blend constant (§3.2; the paper uses 0.8). */
+    double alpha = 0.8;
+    /** Scheduler configuration (grid, beta, ablation flags). */
+    SchedulerConfig scheduler;
+    /** COP predictor configuration (safety offset; OP ablations). */
+    profiler::CopOptions cop;
+    /** Execution-surface parameters. */
+    models::ExecParams exec;
+    /** Cold-start cost parameters. */
+    cluster::ColdStartParams coldStart;
+    /** Per-function keep-alive policy factory (default: LSTH). */
+    coldstart::PolicyFactory keepAlive;
+    /** Auto-scaling engine period. */
+    sim::Tick scalerPeriod = sim::kTicksPerSec;
+    /** Arrival-rate estimation window. */
+    sim::Tick rateWindow = 2 * sim::kTicksPerSec;
+    /** Minimum spacing between fleet reconfiguration attempts. */
+    sim::Tick reconfigPeriod = 5 * sim::kTicksPerSec;
+    /**
+     * Minimum spacing between reactive (arrival-triggered) scale-outs of
+     * one function. Bounds the instance storm while a cold fleet warms
+     * up; requests that cannot be routed meanwhile are dropped, as a
+     * saturated gateway would.
+     */
+    sim::Tick reactiveBackoff = 250 * sim::kTicksPerMs;
+    /**
+     * Relative cost advantage (weighted resources per unit of r_up) a
+     * fresh Algorithm 1 plan must show before the running fleet is
+     * replaced. Guards against oscillation.
+     */
+    double reconfigGain = 0.10;
+    /** Root random seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Launch/served tallies of one instance configuration (Fig. 13). */
+struct ConfigUsage
+{
+    cluster::InstanceConfig config;
+    std::int64_t launches = 0;
+    std::int64_t requestsServed = 0;
+};
+
+/** Point-in-time view of one live instance (observability API). */
+struct InstanceSnapshot
+{
+    cluster::InstanceId id = cluster::kNoInstance;
+    FunctionId function = kNoFunction;
+    cluster::InstanceConfig config;
+    cluster::ServerId server = cluster::kNoServer;
+    cluster::InstanceState state = cluster::InstanceState::ColdStarting;
+    bool draining = false;
+    /** Dispatcher target rate and Eq. 1 window. */
+    double targetRate = 0.0;
+    double rUp = 0.0;
+    double rLow = 0.0;
+    /** Requests currently waiting in the batch queue. */
+    std::size_t queueDepth = 0;
+};
+
+/**
+ * The INFless platform (and base for the baseline platforms).
+ */
+class Platform
+{
+  public:
+    /**
+     * @param num_servers Cluster size (paper: 8 local, 2,000 simulated);
+     *        each machine mirrors the Table 2 testbed node.
+     * @param opts Run configuration.
+     */
+    explicit Platform(std::size_t num_servers, PlatformOptions opts = {});
+
+    /**
+     * Run on an explicit (possibly heterogeneous) machine fleet.
+     */
+    explicit Platform(cluster::Cluster machines, PlatformOptions opts = {});
+    virtual ~Platform();
+
+    Platform(const Platform &) = delete;
+    Platform &operator=(const Platform &) = delete;
+
+    /** System name for reports. */
+    virtual std::string name() const { return "INFless"; }
+
+    /** Deploy a function; returns its id. */
+    FunctionId deploy(const FunctionSpec &spec);
+
+    /**
+     * Deploy a function chain (paper 7): each stage becomes a function
+     * whose latency budget is a split of the end-to-end SLO; completing
+     * a stage forwards the request to the next one.
+     */
+    ChainId deployChain(const ChainSpec &spec);
+
+    /** Inject a pre-materialized arrival trace for a function. */
+    void injectTrace(FunctionId fn, workload::ArrivalTrace trace);
+
+    /** Materialize and inject a rate series (Poisson arrivals). */
+    void injectRateSeries(FunctionId fn,
+                          const workload::RateSeries &series);
+
+    /** Inject arrivals at the head stage of a chain. */
+    void injectChainTrace(ChainId chain, workload::ArrivalTrace trace);
+
+    /** Materialize and inject a rate series at a chain's head stage. */
+    void injectChainRateSeries(ChainId chain,
+                               const workload::RateSeries &series);
+
+    /** Run the simulation up to an absolute tick. */
+    void run(sim::Tick until);
+
+    // Introspection --------------------------------------------------------
+
+    sim::Simulation &simulation() { return sim_; }
+    const cluster::Cluster &cluster() const { return cluster_; }
+    const models::ModelZoo &zoo() const { return zoo_; }
+    const PlatformOptions &options() const { return opts_; }
+
+    /** Aggregate metrics over all functions. */
+    const metrics::RunMetrics &totalMetrics() const { return total_; }
+
+    /** Metrics of a single function. */
+    const metrics::RunMetrics &functionMetrics(FunctionId fn) const;
+
+    /** Time the run ended (argument of the last run()). */
+    sim::Tick endTime() const { return endTime_; }
+
+    /** Time-weighted mean of the cluster fragment ratio (Fig. 17b). */
+    double meanFragmentRatio() const;
+
+    /** Configuration usage tallies of a function (Fig. 13). */
+    std::vector<ConfigUsage> configUsage(FunctionId fn) const;
+
+    /** Live (non-reaped) instances of a function. */
+    int liveInstanceCount(FunctionId fn) const;
+
+    /** Snapshots of a function's live instances (observability). */
+    std::vector<InstanceSnapshot> instanceSnapshots(FunctionId fn) const;
+
+    /** Total live instances across functions. */
+    int liveInstanceCount() const;
+
+    /** Instances ever launched. */
+    std::int64_t totalLaunches() const;
+
+    /** Number of deployed functions. */
+    std::size_t functionCount() const { return functions_.size(); }
+
+    /** Function spec lookup. */
+    const FunctionSpec &spec(FunctionId fn) const;
+
+    /** End-to-end metrics of a chain (latency vs the chain SLO). */
+    const metrics::RunMetrics &chainMetrics(ChainId chain) const;
+
+    /** Stage function ids of a chain, in order. */
+    const std::vector<FunctionId> &chainStages(ChainId chain) const;
+
+    /** Number of deployed chains. */
+    std::size_t chainCount() const { return chains_.size(); }
+
+  protected:
+    /** Runtime state of one instance. */
+    struct InstanceRuntime
+    {
+        cluster::Instance inst;
+        BatchQueue queue;
+        RpsBounds bounds;
+        sim::Tick execPredicted = 0;
+        double targetRate = 0.0;
+        double servedInEpoch = 0.0;
+        bool draining = false;
+        /** Reconfiguration drain: reap on a short grace timer instead of
+         *  the keep-alive window. */
+        bool fastReap = false;
+        /** Grace expired while busy: reap at the next batch boundary,
+         *  re-routing whatever is still queued. */
+        bool reapAsap = false;
+        bool prewarmed = false;
+        /** Fleet generation the instance belongs to (reconfiguration
+         *  bumps the function's generation). */
+        std::int64_t generation = 0;
+        sim::Tick warmAt = sim::kTickNever;
+        sim::EventId timeoutEvent = sim::kNoEvent;
+        sim::EventId expiryEvent = sim::kNoEvent;
+        std::size_t usageKey = 0;
+        FunctionId fn = kNoFunction;
+    };
+
+    /** Runtime state of one deployed function. */
+    struct FunctionState
+    {
+        FunctionSpec spec;
+        const models::ModelInfo *model = nullptr;
+        std::vector<std::size_t> live; ///< indices into instances_
+        std::unique_ptr<coldstart::KeepAlivePolicy> policy;
+        RateEstimator rate;
+        sim::Tick lastInvocation = -1;
+        /** Chain membership of this function (kNoChain if standalone). */
+        ChainId chain = kNoChain;
+        /** Stage index within the chain. */
+        int stage = 0;
+        sim::EventId prewarmEvent = sim::kNoEvent;
+        sim::Tick lastReconfig = -sim::kTicksPerHour;
+        sim::Tick lastReactive = -sim::kTicksPerSec;
+        /** While now < reconfigHold the function is mid-reconfiguration:
+         *  ordinary scale-out is suppressed and each tick advances the
+         *  rolling replacement instead. */
+        sim::Tick reconfigHold = 0;
+        /** Current fleet generation. */
+        std::int64_t generation = 0;
+        metrics::RunMetrics metrics;
+        cluster::Resources allocated;
+        std::vector<ConfigUsage> usage;
+        std::map<std::tuple<int, std::int64_t, std::int64_t>, std::size_t>
+            usageIndex;
+
+        explicit FunctionState(sim::Tick rate_window)
+            : rate(rate_window)
+        {
+        }
+    };
+
+    // Baseline hooks --------------------------------------------------------
+
+    /**
+     * Plan instances for residual load; the default runs Algorithm 1.
+     * Implementations must allocate plan resources on the cluster.
+     */
+    virtual std::vector<LaunchPlan> planScaleOut(FunctionState &fn,
+                                                 double residual_rps);
+
+    /** One-to-one request mapping (OpenFaaS+): a request only goes to an
+     *  unoccupied instance. */
+    virtual bool oneToOne() const { return false; }
+
+    /** Extra ingress latency before dispatch (the OTP buffer layer). */
+    virtual sim::Tick ingressDelay() const { return 0; }
+
+    /** Whether the scaler actively drains excess instances (INFless). */
+    virtual bool activeScaleIn() const { return true; }
+
+    /** Pack requests onto the lowest-index instances instead of
+     *  target-rate weighted spreading (baselines). */
+    virtual bool packRouting() const { return false; }
+
+    /**
+     * Whether the auto-scaling engine periodically re-derives the optimal
+     * batch-resource decisions for the measured rate and performs a
+     * rolling (make-before-break) fleet replacement when the current
+     * instances are far from optimal (5 in Fig. 4). The uniform-scaling
+     * baselines never reconfigure running instances.
+     */
+    virtual bool reconfigures() const { return true; }
+
+    // Shared internals for subclasses ---------------------------------------
+
+    const profiler::CopPredictor &predictor() const { return predictor_; }
+    const models::ExecModel &execModel() const { return exec_; }
+    const GreedyScheduler &scheduler() const { return scheduler_; }
+    cluster::Cluster &mutableCluster() { return cluster_; }
+    FunctionState &functionState(FunctionId fn);
+
+  private:
+    /** Runtime state of one deployed chain. */
+    struct ChainState
+    {
+        ChainSpec spec;
+        std::vector<FunctionId> stages;
+        metrics::RunMetrics metrics;
+    };
+
+    // Event handlers ---------------------------------------------------------
+
+    void onArrival(FunctionId fn);
+    /** Shared arrival path: account the request and route it. */
+    void ingestRequest(FunctionId fn, RequestIndex request);
+    /** Move a finished chain request to its next stage (or finish it). */
+    void advanceChain(RequestIndex request, sim::Tick now);
+    void routeRequest(FunctionId fn, RequestIndex request);
+    void tryStartBatch(std::size_t idx);
+    void startBatch(std::size_t idx);
+    void onBatchComplete(std::size_t idx, std::vector<RequestIndex> batch,
+                         sim::Tick started, sim::Tick exec_time);
+    void onWarm(std::size_t idx);
+    void scalerTick();
+    void maybeReconfigure(FunctionId fn, double measured);
+    void continueReconfigure(FunctionId fn, double measured);
+
+    // Instance lifecycle ------------------------------------------------------
+
+    std::size_t launchInstance(FunctionId fn, const LaunchPlan &plan,
+                               bool prewarmed_launch);
+    void reapInstance(std::size_t idx);
+    void armTimeout(std::size_t idx);
+    void armExpiry(std::size_t idx);
+    void maybePrewarm(FunctionId fn);
+
+    // Helpers -----------------------------------------------------------------
+
+    void refreshTargets(FunctionState &fn);
+    void recordAllocationChange();
+    void completeRequest(std::size_t idx, RequestIndex request,
+                         sim::Tick started, sim::Tick exec_time);
+    double aggregateRUp(const FunctionState &fn) const;
+    std::size_t usageKeyFor(FunctionState &fn,
+                            const cluster::InstanceConfig &config);
+
+    /** One injected trace and its replay cursor. */
+    struct TraceFeed
+    {
+        FunctionId fn;
+        workload::ArrivalTrace trace;
+        std::size_t cursor = 0;
+    };
+    void scheduleNextArrival(std::size_t feed_idx);
+
+    sim::Simulation sim_;
+    cluster::Cluster cluster_;
+    const models::ModelZoo &zoo_;
+    models::ExecModel exec_;
+    profiler::OpProfileDb profileDb_;
+    profiler::CopPredictor predictor_;
+    GreedyScheduler scheduler_;
+    cluster::ContainerRuntime runtime_;
+    PlatformOptions opts_;
+
+    std::vector<FunctionState> functions_;
+    std::vector<ChainState> chains_;
+    std::vector<InstanceRuntime> instances_;
+    std::vector<RequestRecord> requests_;
+    std::vector<TraceFeed> feeds_;
+
+    metrics::RunMetrics total_;
+    metrics::TimeWeightedMean fragRatio_;
+    cluster::InstanceId nextInstanceId_ = 0;
+    sim::Tick endTime_ = 0;
+    std::shared_ptr<sim::Simulation::Periodic> scalerHandle_;
+};
+
+} // namespace infless::core
+
+#endif // INFLESS_CORE_PLATFORM_HH

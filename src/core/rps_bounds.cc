@@ -1,0 +1,41 @@
+#include "core/rps_bounds.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace infless::core {
+
+bool
+execFeasible(sim::Tick t_exec, sim::Tick t_slo, int batch)
+{
+    if (t_exec <= 0 || t_slo <= 0 || batch < 1)
+        return false;
+    if (batch == 1)
+        return t_exec <= t_slo;
+    return 2 * t_exec <= t_slo;
+}
+
+RpsBounds
+rpsBounds(sim::Tick t_exec, sim::Tick t_slo, int batch)
+{
+    sim::simAssert(execFeasible(t_exec, t_slo, batch),
+                   "rpsBounds on infeasible config: t_exec=", t_exec,
+                   " t_slo=", t_slo, " b=", batch);
+    double exec_sec = sim::ticksToSec(t_exec);
+    RpsBounds bounds;
+    bounds.up = std::floor(1.0 / exec_sec) * batch;
+    if (batch == 1) {
+        // A single request never waits for peers; any arrival rate up to
+        // r_up is admissible.
+        bounds.low = 0.0;
+    } else {
+        double slack_sec = sim::ticksToSec(t_slo - t_exec);
+        bounds.low = std::ceil(1.0 / slack_sec) * batch;
+    }
+    if (bounds.low > bounds.up)
+        bounds.low = bounds.up; // degenerate but feasible corner
+    return bounds;
+}
+
+} // namespace infless::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-instance request-rate bounds — Eq. 1 of §3.2.
+ *
+ * An instance with batchsize b and batch execution time t_exec can absorb
+ * at most r_up = floor(1/t_exec) * b requests per second (the batch
+ * pipeline is saturated), and needs at least
+ * r_low = ceil(1/(t_slo - t_exec)) * b so a batch fills before its
+ * submission deadline. Feasibility requires t_exec <= t_slo/2 (batch
+ * submission must not outpace execution); with b = 1 there is no batch
+ * wait and the requirement relaxes to t_exec <= t_slo.
+ */
+
+#ifndef INFLESS_CORE_RPS_BOUNDS_HH
+#define INFLESS_CORE_RPS_BOUNDS_HH
+
+#include "sim/time.hh"
+
+namespace infless::core {
+
+/** The [r_low, r_up] workload window of one instance, in RPS. */
+struct RpsBounds
+{
+    double low = 0.0;
+    double up = 0.0;
+
+    bool valid() const { return up > 0.0 && low <= up; }
+};
+
+/**
+ * Whether a configuration with the given execution time can meet the SLO
+ * at all (Algorithm 1's feasibility check).
+ */
+bool execFeasible(sim::Tick t_exec, sim::Tick t_slo, int batch);
+
+/**
+ * Eq. 1. Requires execFeasible(); panics otherwise.
+ */
+RpsBounds rpsBounds(sim::Tick t_exec, sim::Tick t_slo, int batch);
+
+} // namespace infless::core
+
+#endif // INFLESS_CORE_RPS_BOUNDS_HH

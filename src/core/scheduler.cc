@@ -1,0 +1,214 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace infless::core {
+
+GreedyScheduler::GreedyScheduler(const profiler::CopPredictor &predictor,
+                                 SchedulerConfig config)
+    : predictor_(predictor), config_(std::move(config))
+{
+    sim::simAssert(!config_.cpuChoices.empty(), "no CPU choices");
+    sim::simAssert(!config_.gpuChoices.empty(), "no GPU choices");
+    sim::simAssert(config_.beta > 0.0, "beta must be positive");
+}
+
+std::int64_t
+GreedyScheduler::instanceMemoryMb(const models::ModelInfo &model) const
+{
+    return static_cast<std::int64_t>(
+               std::ceil(model.sizeMb * config_.modelMemoryFactor)) +
+           config_.runtimeMemoryMb;
+}
+
+std::vector<CandidateConfig>
+GreedyScheduler::availableConfigs(const models::ModelInfo &model, int batch,
+                                  double residual_rps, sim::Tick slo) const
+{
+    std::vector<CandidateConfig> feasible;
+    std::int64_t memory = instanceMemoryMb(model);
+    for (std::int64_t cpu : config_.cpuChoices) {
+        for (std::int64_t gpu : config_.gpuChoices) {
+            cluster::Resources res{cpu, gpu, memory};
+            sim::Tick exec = predictor_.predict(model, batch, res);
+            if (!execFeasible(exec, slo, batch))
+                continue;
+            RpsBounds bounds = rpsBounds(exec, slo, batch);
+            // For b > 1 the batch must saturate before the waiting
+            // timeout: the residual rate has to reach r_low.
+            if (batch > 1 && residual_rps < bounds.low)
+                continue;
+            CandidateConfig candidate;
+            candidate.config =
+                cluster::InstanceConfig{batch, res};
+            candidate.execPredicted = exec;
+            candidate.bounds = bounds;
+            feasible.push_back(candidate);
+        }
+    }
+    return feasible;
+}
+
+double
+GreedyScheduler::efficiency(const CandidateConfig &candidate,
+                            const cluster::Server &server, double norm,
+                            double residual_rps) const
+{
+    const cluster::Resources &req = candidate.config.resources;
+    if (!server.canFit(req))
+        return -1.0;
+
+    double cost = req.weighted(config_.beta);
+    double avail = server.available().weighted(config_.beta);
+    sim::simAssert(cost > 0.0, "zero-cost instance config");
+
+    double usable = config_.uncappedEfficiency
+                        ? candidate.bounds.up
+                        : std::min(candidate.bounds.up, residual_rps);
+    double rps_per_resource = usable / cost;
+    double numerator = norm > 0.0 ? rps_per_resource / norm
+                                  : rps_per_resource;
+
+    // Snug fits are rewarded, but the boost is floored: otherwise any
+    // configuration that exactly fills a server's remainder would beat
+    // every genuinely efficient one once the cluster fills up.
+    double min_fragment = config_.noFragmentFloor ? 1e-9 : 0.05;
+    double fragment = std::max(1.0 - cost / avail, min_fragment);
+    return numerator / fragment;
+}
+
+std::vector<LaunchPlan>
+GreedyScheduler::schedule(const models::ModelInfo &model,
+                          double residual_rps, sim::Tick slo, int max_batch,
+                          cluster::Cluster &cluster) const
+{
+    std::vector<LaunchPlan> plans;
+    int cap = std::min(max_batch, model.maxBatch);
+    std::vector<int> batches;
+    for (int b = 1; b <= cap; b *= 2)
+        batches.push_back(b);
+    std::sort(batches.rbegin(), batches.rend()); // largest first
+
+    while (residual_rps > 1e-9) {
+        // Candidate pool: every feasible (b, c, g), largest batchsizes
+        // first. The paper's Algorithm 1 commits to the largest feasible
+        // batchsize outright; on our execution surface that rule
+        // over-provisions (a fat-GPU large-batch config is often feasible
+        // yet far costlier per usable RPS), so the batchsize competes
+        // through the same usable-RPS efficiency metric as the resources.
+        // The residual-saturation check still gates large batches, which
+        // reproduces the mixed {1, 2, 4, 8} usage of Fig. 13a.
+        std::vector<CandidateConfig> candidates;
+        for (int b : batches) {
+            auto batch_cands = availableConfigs(model, b, residual_rps, slo);
+            candidates.insert(candidates.end(), batch_cands.begin(),
+                              batch_cands.end());
+            if (config_.largestBatchFirst && !candidates.empty())
+                break; // paper-literal rule: commit to this batchsize
+        }
+        if (candidates.empty())
+            break; // SLO unsatisfiable at this rate
+
+        const CandidateConfig *best_cand = nullptr;
+        cluster::ServerId best_server = cluster::kNoServer;
+        if (config_.throughputOnly) {
+            // RS ablation: max-throughput config, first-fit placement.
+            for (const auto &cand : candidates) {
+                if (best_cand && cand.bounds.up <= best_cand->bounds.up)
+                    continue;
+                cluster::ServerId server =
+                    cluster.firstFit(cand.config.resources);
+                if (server != cluster::kNoServer) {
+                    best_cand = &cand;
+                    best_server = server;
+                }
+            }
+        } else {
+            // Normalize the RPS/resource numerator over the pool.
+            double norm = 0.0;
+            for (const auto &cand : candidates) {
+                double usable = std::min(cand.bounds.up, residual_rps);
+                norm = std::max(norm,
+                                usable / cand.config.resources.weighted(
+                                             config_.beta));
+            }
+            // argmax e_ij over candidates x servers.
+            double best_e = -1.0;
+            for (const auto &cand : candidates) {
+                for (const auto &server : cluster.servers()) {
+                    double e =
+                        efficiency(cand, server, norm, residual_rps);
+                    if (e > best_e) {
+                        best_e = e;
+                        best_cand = &cand;
+                        best_server = server.id();
+                    }
+                }
+            }
+        }
+        if (!best_cand)
+            break; // cluster exhausted
+
+        bool ok =
+            cluster.allocate(best_server, best_cand->config.resources);
+        sim::simAssert(ok, "allocation failed after fit check");
+
+        LaunchPlan plan;
+        plan.config = best_cand->config;
+        plan.server = best_server;
+        plan.execPredicted = best_cand->execPredicted;
+        plan.bounds = best_cand->bounds;
+        plans.push_back(plan);
+
+        residual_rps -= best_cand->bounds.up;
+    }
+    return plans;
+}
+
+std::vector<LaunchPlan>
+uniformSchedule(const CandidateConfig &config, double residual_rps,
+                cluster::Cluster &cluster, bool best_fit, double beta,
+                std::int64_t memory_mb)
+{
+    std::vector<LaunchPlan> plans;
+    cluster::Resources req = config.config.resources;
+    req.memoryMb = memory_mb;
+    while (residual_rps > 1e-9) {
+        cluster::ServerId target = cluster::kNoServer;
+        if (best_fit) {
+            // Smallest weighted availability that still fits (BATCH+RS).
+            double best_avail = std::numeric_limits<double>::max();
+            for (const auto &server : cluster.servers()) {
+                if (!server.canFit(req))
+                    continue;
+                double avail = server.available().weighted(beta);
+                if (avail < best_avail) {
+                    best_avail = avail;
+                    target = server.id();
+                }
+            }
+        } else {
+            target = cluster.firstFit(req);
+        }
+        if (target == cluster::kNoServer)
+            break;
+        bool ok = cluster.allocate(target, req);
+        sim::simAssert(ok, "allocation failed after fit check");
+
+        LaunchPlan plan;
+        plan.config = config.config;
+        plan.config.resources = req;
+        plan.server = target;
+        plan.execPredicted = config.execPredicted;
+        plan.bounds = config.bounds;
+        plans.push_back(plan);
+        residual_rps -= config.bounds.up;
+    }
+    return plans;
+}
+
+} // namespace infless::core

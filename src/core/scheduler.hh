@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Greedy instance scheduler — Algorithm 1 of §3.4.
+ *
+ * Given the residual request rate of a function, the scheduler explores
+ * batchsizes from largest to smallest (batching contributes the most to
+ * throughput), enumerates the feasible (b, c, g) configurations via the
+ * COP predictor (AvailableConfig), and places each new instance on the
+ * server maximizing the resource-efficiency metric of Eq. 10:
+ *
+ *   e_ij = normalized(r_up / (beta*c + g)) / (1 - (beta*c+g)/(beta*C_j+G_j))
+ *
+ * i.e. throughput per weighted resource, boosted when the instance fills
+ * the server's remaining capacity snugly (small fragment left behind).
+ */
+
+#ifndef INFLESS_CORE_SCHEDULER_HH
+#define INFLESS_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "cluster/instance.hh"
+#include "core/rps_bounds.hh"
+#include "models/model_zoo.hh"
+#include "profiler/cop.hh"
+#include "sim/time.hh"
+
+namespace infless::core {
+
+/** Scheduler tunables. */
+struct SchedulerConfig
+{
+    /** CPU allocation choices, millicores. */
+    std::vector<std::int64_t> cpuChoices = {500, 1000, 2000, 4000};
+    /** GPU allocation choices, SM percent (0 = CPU-only instance). */
+    std::vector<std::int64_t> gpuChoices = {0, 5, 10, 20, 30, 50};
+    /** CPU<->GPU conversion factor (Eq. 2/10). */
+    double beta = cluster::kDefaultBeta;
+    /** Fixed per-instance memory overhead beyond the model itself, MiB. */
+    std::int64_t runtimeMemoryMb = 300;
+    /** Model memory inflation factor (weights + activation workspace). */
+    double modelMemoryFactor = 1.25;
+    /**
+     * Fig. 11's RS ablation: when set, ignore the e_ij efficiency metric
+     * and pick the configuration with the maximum throughput, placed
+     * first-fit.
+     */
+    bool throughputOnly = false;
+
+    // Ablation switches for the deviations documented in DESIGN.md 5.
+    // Setting all three restores the paper's literal Algorithm 1.
+
+    /** Commit to the largest batchsize with any feasible configuration
+     *  instead of pooling candidates across batchsizes. */
+    bool largestBatchFirst = false;
+    /** Use the raw r_up in the e_ij numerator instead of capping it at
+     *  the residual rate. */
+    bool uncappedEfficiency = false;
+    /** Let the fragmentation denominator approach zero for snug fits
+     *  instead of flooring it. */
+    bool noFragmentFloor = false;
+};
+
+/** One feasible configuration from AvailableConfig. */
+struct CandidateConfig
+{
+    cluster::InstanceConfig config;
+    sim::Tick execPredicted = 0;
+    RpsBounds bounds;
+};
+
+/** One placement decision produced by Schedule(). */
+struct LaunchPlan
+{
+    cluster::InstanceConfig config;
+    cluster::ServerId server = cluster::kNoServer;
+    sim::Tick execPredicted = 0;
+    RpsBounds bounds;
+};
+
+/**
+ * The INFless scheduling algorithm.
+ */
+class GreedyScheduler
+{
+  public:
+    GreedyScheduler(const profiler::CopPredictor &predictor,
+                    SchedulerConfig config = {});
+
+    const SchedulerConfig &config() const { return config_; }
+
+    /** Memory an instance of @p model reserves. */
+    std::int64_t instanceMemoryMb(const models::ModelInfo &model) const;
+
+    /**
+     * AvailableConfig (Algorithm 1, lines 16-27): all (b=batch, c, g)
+     * whose predicted execution time admits the SLO and, for b > 1, whose
+     * r_low the residual rate can saturate.
+     */
+    std::vector<CandidateConfig>
+    availableConfigs(const models::ModelInfo &model, int batch,
+                     double residual_rps, sim::Tick slo) const;
+
+    /**
+     * Eq. 10 efficiency of placing @p candidate on @p server.
+     *
+     * The RPS numerator is capped at @p residual_rps: capacity beyond the
+     * rate the instance will actually receive is over-provisioning, not
+     * efficiency (Fig. 14). Pass infinity to reproduce the uncapped
+     * formula.
+     *
+     * @param norm Normalization divisor for the RPS/resource numerator
+     *        (max over the candidate set).
+     * @return Negative when the instance does not fit.
+     */
+    double efficiency(const CandidateConfig &candidate,
+                      const cluster::Server &server, double norm,
+                      double residual_rps) const;
+
+    /**
+     * Algorithm 1: plan (and allocate on @p cluster) instances covering
+     * @p residual_rps for one function.
+     *
+     * Allocations are committed into the cluster as plans are made; the
+     * caller launches the corresponding instances (or releases the
+     * resources if it chooses not to).
+     *
+     * @param max_batch Function-level batch cap.
+     * @return The launch plans; may cover less than the residual when the
+     *         cluster runs out of room.
+     */
+    std::vector<LaunchPlan> schedule(const models::ModelInfo &model,
+                                     double residual_rps, sim::Tick slo,
+                                     int max_batch,
+                                     cluster::Cluster &cluster) const;
+
+  private:
+    const profiler::CopPredictor &predictor_;
+    SchedulerConfig config_;
+};
+
+/**
+ * Uniform-scaling scheduler used by the baselines: one fixed candidate
+ * list (no per-instance adaptation), first-fit placement.
+ */
+std::vector<LaunchPlan>
+uniformSchedule(const CandidateConfig &config, double residual_rps,
+                cluster::Cluster &cluster, bool best_fit, double beta,
+                std::int64_t memory_mb);
+
+} // namespace infless::core
+
+#endif // INFLESS_CORE_SCHEDULER_HH

@@ -1,0 +1,162 @@
+#include "metrics/collector.hh"
+
+namespace infless::metrics {
+
+RunMetrics::RunMetrics() = default;
+
+void
+RunMetrics::recordArrival(sim::Tick)
+{
+    ++arrivals_;
+}
+
+void
+RunMetrics::recordCompletion(sim::Tick, const LatencyBreakdown &parts,
+                             sim::Tick slo)
+{
+    ++completions_;
+    latency_.record(parts.total());
+    queueTime_.record(parts.queue);
+    execTime_.record(parts.exec);
+    coldTime_.record(parts.coldStart);
+    if (slo > 0 && parts.total() > slo)
+        ++sloViolations_;
+}
+
+void
+RunMetrics::recordDrop(sim::Tick)
+{
+    ++drops_;
+}
+
+void
+RunMetrics::recordLaunch(bool cold)
+{
+    if (cold)
+        ++coldLaunches_;
+    else
+        ++warmLaunches_;
+}
+
+void
+RunMetrics::recordBatch(int fill)
+{
+    ++batches_;
+    batchFillSum_ += fill;
+}
+
+void
+RunMetrics::recordAllocation(sim::Tick now, const cluster::Resources &alloc)
+{
+    cpuCores_.update(now, alloc.cpuCores());
+    gpuDevices_.update(now, alloc.gpuDevices());
+    memoryMb_.update(now, static_cast<double>(alloc.memoryMb));
+}
+
+void
+RunMetrics::recordInstanceCount(sim::Tick now, int count)
+{
+    instances_.update(now, static_cast<double>(count));
+}
+
+double
+RunMetrics::meanBatchFill() const
+{
+    return batches_ == 0 ? 0.0
+                         : static_cast<double>(batchFillSum_) /
+                               static_cast<double>(batches_);
+}
+
+double
+RunMetrics::sloViolationRate() const
+{
+    std::int64_t finished = completions_ + drops_;
+    if (finished == 0)
+        return 0.0;
+    return static_cast<double>(sloViolations_ + drops_) /
+           static_cast<double>(finished);
+}
+
+double
+RunMetrics::coldLaunchRate() const
+{
+    std::int64_t total = launches();
+    return total == 0 ? 0.0
+                      : static_cast<double>(coldLaunches_) /
+                            static_cast<double>(total);
+}
+
+double
+RunMetrics::throughputRps(sim::Tick duration) const
+{
+    if (duration <= 0)
+        return 0.0;
+    return static_cast<double>(completions_) / sim::ticksToSec(duration);
+}
+
+double
+RunMetrics::cpuCoreSeconds(sim::Tick now) const
+{
+    return cpuCores_.integralUntil(now) / sim::kTicksPerSec;
+}
+
+double
+RunMetrics::gpuDeviceSeconds(sim::Tick now) const
+{
+    return gpuDevices_.integralUntil(now) / sim::kTicksPerSec;
+}
+
+double
+RunMetrics::meanCpuCores(sim::Tick now) const
+{
+    return cpuCores_.meanUntil(now);
+}
+
+double
+RunMetrics::meanGpuDevices(sim::Tick now) const
+{
+    return gpuDevices_.meanUntil(now);
+}
+
+double
+RunMetrics::meanInstances(sim::Tick now) const
+{
+    return instances_.meanUntil(now);
+}
+
+double
+RunMetrics::memoryGbSeconds(sim::Tick now) const
+{
+    return memoryMb_.integralUntil(now) / sim::kTicksPerSec / 1024.0;
+}
+
+double
+RunMetrics::throughputPerResource(sim::Tick duration, double beta) const
+{
+    double weighted_seconds =
+        beta * cpuCoreSeconds(duration) + gpuDeviceSeconds(duration);
+    if (weighted_seconds <= 0.0)
+        return 0.0;
+    // completions / weighted-resource-seconds: requests served per unit of
+    // (beta-weighted) resource-time occupied.
+    return static_cast<double>(completions_) / weighted_seconds;
+}
+
+void
+RunMetrics::mergeCounters(const RunMetrics &other)
+{
+    arrivals_ += other.arrivals_;
+    completions_ += other.completions_;
+    drops_ += other.drops_;
+    sloViolations_ += other.sloViolations_;
+    coldLaunches_ += other.coldLaunches_;
+    warmLaunches_ += other.warmLaunches_;
+    batches_ += other.batches_;
+    batchFillSum_ += other.batchFillSum_;
+    latency_.merge(other.latency_);
+    queueTime_.merge(other.queueTime_);
+    execTime_.merge(other.execTime_);
+    coldTime_.merge(other.coldTime_);
+}
+
+} // namespace infless::metrics

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-run metric aggregation.
+ *
+ * Every quantity the paper's evaluation reports — throughput per occupied
+ * resource, SLO violation rate, cold-start rate, latency breakdown,
+ * resource-seconds — derives from one RunMetrics filled in by the
+ * platform while the simulation runs.
+ */
+
+#ifndef INFLESS_METRICS_COLLECTOR_HH
+#define INFLESS_METRICS_COLLECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/resources.hh"
+#include "metrics/stats.hh"
+#include "sim/time.hh"
+
+namespace infless::metrics {
+
+/** Latency decomposition of one completed request (Fig. 15b/c). */
+struct LatencyBreakdown
+{
+    sim::Tick coldStart = 0; ///< instance startup the request waited for
+    sim::Tick queue = 0;     ///< time waiting in the batch queue
+    sim::Tick exec = 0;      ///< batch execution time
+
+    sim::Tick total() const { return coldStart + queue + exec; }
+};
+
+/**
+ * Aggregated counters and distributions for one run (or one function).
+ */
+class RunMetrics
+{
+  public:
+    RunMetrics();
+
+    /** A request entered the system. */
+    void recordArrival(sim::Tick now);
+
+    /** A request finished; @p slo of 0 disables violation accounting. */
+    void recordCompletion(sim::Tick now, const LatencyBreakdown &parts,
+                          sim::Tick slo);
+
+    /** A request was dropped (queue overrun). */
+    void recordDrop(sim::Tick now);
+
+    /** An instance launch happened; @p cold tells whether it paid a cold
+     *  start. */
+    void recordLaunch(bool cold);
+
+    /** A batch of @p fill requests started executing. */
+    void recordBatch(int fill);
+
+    /** The total allocated resources changed to @p allocated at @p now. */
+    void recordAllocation(sim::Tick now, const cluster::Resources &alloc);
+
+    /** The live instance count changed. */
+    void recordInstanceCount(sim::Tick now, int count);
+
+    // Raw counters -------------------------------------------------------
+
+    std::int64_t arrivals() const { return arrivals_; }
+    std::int64_t completions() const { return completions_; }
+    std::int64_t drops() const { return drops_; }
+    std::int64_t sloViolations() const { return sloViolations_; }
+    std::int64_t coldLaunches() const { return coldLaunches_; }
+    std::int64_t warmLaunches() const { return warmLaunches_; }
+    std::int64_t launches() const { return coldLaunches_ + warmLaunches_; }
+    std::int64_t batches() const { return batches_; }
+
+    const LatencyHistogram &latency() const { return latency_; }
+    const LatencyHistogram &queueTime() const { return queueTime_; }
+    const LatencyHistogram &execTime() const { return execTime_; }
+    const LatencyHistogram &coldTime() const { return coldTime_; }
+
+    /** Mean batch fill (served requests per executed batch). */
+    double meanBatchFill() const;
+
+    // Derived quantities --------------------------------------------------
+
+    /** Fraction of completed requests that missed their SLO (drops count
+     *  as violations too). */
+    double sloViolationRate() const;
+
+    /** Fraction of instance launches that were cold. */
+    double coldLaunchRate() const;
+
+    /** Completed requests per second of simulated time. */
+    double throughputRps(sim::Tick duration) const;
+
+    /** Allocated CPU integral in core-seconds up to @p now. */
+    double cpuCoreSeconds(sim::Tick now) const;
+
+    /** Allocated GPU integral in device-seconds up to @p now. */
+    double gpuDeviceSeconds(sim::Tick now) const;
+
+    /** Time-averaged CPU cores allocated. */
+    double meanCpuCores(sim::Tick now) const;
+
+    /** Time-averaged GPU devices allocated. */
+    double meanGpuDevices(sim::Tick now) const;
+
+    /** Time-averaged live instances. */
+    double meanInstances(sim::Tick now) const;
+
+    /** Allocated memory integral in GB-seconds (Fig. 3a's metric). */
+    double memoryGbSeconds(sim::Tick now) const;
+
+    /**
+     * The paper's normalized throughput: completed RPS divided by the
+     * weighted resources occupied (Fig. 12, Fig. 18).
+     */
+    double throughputPerResource(sim::Tick duration, double beta) const;
+
+    /** Merge counters of another collector (per-function -> total). */
+    void mergeCounters(const RunMetrics &other);
+
+  private:
+    std::int64_t arrivals_ = 0;
+    std::int64_t completions_ = 0;
+    std::int64_t drops_ = 0;
+    std::int64_t sloViolations_ = 0;
+    std::int64_t coldLaunches_ = 0;
+    std::int64_t warmLaunches_ = 0;
+    std::int64_t batches_ = 0;
+    std::int64_t batchFillSum_ = 0;
+
+    LatencyHistogram latency_;
+    LatencyHistogram queueTime_;
+    LatencyHistogram execTime_;
+    LatencyHistogram coldTime_;
+
+    TimeWeightedMean cpuCores_;
+    TimeWeightedMean gpuDevices_;
+    TimeWeightedMean memoryMb_;
+    TimeWeightedMean instances_;
+};
+
+} // namespace infless::metrics
+
+#endif // INFLESS_METRICS_COLLECTOR_HH

@@ -1,0 +1,30 @@
+#include "metrics/cost_model.hh"
+
+namespace infless::metrics {
+
+CostReport
+costFromAverages(const std::string &system, double mean_cpus,
+                 double mean_gpus, double rps, const PriceSheet &prices)
+{
+    CostReport report;
+    report.system = system;
+    if (rps <= 0.0)
+        return report;
+    report.cpusPer100Rps = mean_cpus / (rps / 100.0);
+    report.gpusPer100Rps = mean_gpus / (rps / 100.0);
+    double dollars_per_second = mean_cpus * prices.cpuPerCoreHour / 3600.0 +
+                                mean_gpus * prices.gpuPerHour / 3600.0;
+    report.costPerRequest = dollars_per_second / rps;
+    return report;
+}
+
+CostReport
+computeCost(const std::string &system, const RunMetrics &metrics,
+            sim::Tick duration, const PriceSheet &prices)
+{
+    double rps = metrics.throughputRps(duration);
+    return costFromAverages(system, metrics.meanCpuCores(duration),
+                            metrics.meanGpuDevices(duration), rps, prices);
+}
+
+} // namespace infless::metrics

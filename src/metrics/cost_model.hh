@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Monetary cost model (Table 4).
+ *
+ * The paper prices CPU at the AWS r5.2xlarge rate ($0.034 per core-hour)
+ * and a 2080Ti GPU at $2.5/hour (transformed from the Tesla P100 price of
+ * p3.2xlarge), then reports CPUs and GPUs consumed per 100 RPS of served
+ * load and the resulting cost per request.
+ */
+
+#ifndef INFLESS_METRICS_COST_MODEL_HH
+#define INFLESS_METRICS_COST_MODEL_HH
+
+#include <string>
+
+#include "metrics/collector.hh"
+#include "sim/time.hh"
+
+namespace infless::metrics {
+
+/** Hourly prices. */
+struct PriceSheet
+{
+    double cpuPerCoreHour = 0.034;
+    double gpuPerHour = 2.5;
+};
+
+/** One row of Table 4. */
+struct CostReport
+{
+    std::string system;
+    double cpusPer100Rps = 0.0;
+    double gpusPer100Rps = 0.0;
+    double costPerRequest = 0.0;
+};
+
+/**
+ * Derive a Table 4 row from run metrics.
+ *
+ * @param metrics Aggregate metrics of a finished run.
+ * @param duration Run length.
+ * @param prices Price sheet.
+ */
+CostReport computeCost(const std::string &system, const RunMetrics &metrics,
+                       sim::Tick duration, const PriceSheet &prices = {});
+
+/**
+ * Cost per request from direct resource averages (for analytic baselines
+ * like always-on EC2 provisioning).
+ *
+ * @param mean_cpus Average CPU cores held.
+ * @param mean_gpus Average GPU devices held.
+ * @param rps Served request rate.
+ */
+CostReport costFromAverages(const std::string &system, double mean_cpus,
+                            double mean_gpus, double rps,
+                            const PriceSheet &prices = {});
+
+} // namespace infless::metrics
+
+#endif // INFLESS_METRICS_COST_MODEL_HH

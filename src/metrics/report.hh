@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table and series printers used by the bench binaries to
+ * emit the paper's rows and figure series.
+ */
+
+#ifndef INFLESS_METRICS_REPORT_HH
+#define INFLESS_METRICS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace infless::metrics {
+
+/** Format a double with @p precision fractional digits. */
+std::string fmt(double value, int precision = 2);
+
+/** Format a double in scientific notation (for Table 4 costs). */
+std::string fmtSci(double value, int precision = 2);
+
+/** Format a percentage with one fractional digit. */
+std::string fmtPercent(double fraction, int precision = 1);
+
+/**
+ * Fixed-width text table.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section heading ("== Figure 12(a) ... =="). */
+void printHeading(std::ostream &os, const std::string &title);
+
+} // namespace infless::metrics
+
+#endif // INFLESS_METRICS_REPORT_HH

@@ -1,0 +1,150 @@
+#include "metrics/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace infless::metrics {
+
+LatencyHistogram::LatencyHistogram(double growth, sim::Tick max_value)
+    : growth_(growth), logGrowth_(std::log(growth)), maxValue_(max_value)
+{
+    sim::simAssert(growth > 1.0, "growth factor must exceed 1");
+    sim::simAssert(max_value > 0, "max value must be positive");
+    std::size_t buckets =
+        bucketOf(max_value) + 2; // +1 index headroom, +1 overflow
+    buckets_.assign(buckets, 0);
+}
+
+std::size_t
+LatencyHistogram::bucketOf(sim::Tick value) const
+{
+    if (value <= 1)
+        return 0;
+    double idx = std::log(static_cast<double>(value)) / logGrowth_;
+    return static_cast<std::size_t>(idx) + 1;
+}
+
+sim::Tick
+LatencyHistogram::bucketUpperEdge(std::size_t bucket) const
+{
+    if (bucket == 0)
+        return 1;
+    return static_cast<sim::Tick>(
+        std::ceil(std::pow(growth_, static_cast<double>(bucket))));
+}
+
+void
+LatencyHistogram::record(sim::Tick value)
+{
+    value = std::clamp<sim::Tick>(value, 0, maxValue_);
+    std::size_t bucket = std::min(bucketOf(value), buckets_.size() - 1);
+    ++buckets_[bucket];
+    ++count_;
+    sum_ += static_cast<double>(value);
+    if (count_ == 1) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+sim::Tick
+LatencyHistogram::percentile(double p) const
+{
+    sim::simAssert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (count_ == 0)
+        return 0;
+    auto target = static_cast<std::int64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    target = std::max<std::int64_t>(1, target);
+    std::int64_t seen = 0;
+    for (std::size_t bucket = 0; bucket < buckets_.size(); ++bucket) {
+        seen += buckets_[bucket];
+        if (seen >= target)
+            return std::min(bucketUpperEdge(bucket), max_);
+    }
+    return max_;
+}
+
+double
+LatencyHistogram::fractionAbove(sim::Tick threshold) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::size_t cutoff = std::min(bucketOf(threshold), buckets_.size() - 1);
+    // Buckets strictly above the threshold's bucket definitely exceed it;
+    // the threshold's own bucket is ambiguous and counted conservatively
+    // as "not above" only if the threshold is its upper edge.
+    std::int64_t above = 0;
+    for (std::size_t bucket = cutoff + 1; bucket < buckets_.size();
+         ++bucket) {
+        above += buckets_[bucket];
+    }
+    return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    sim::simAssert(buckets_.size() == other.buckets_.size(),
+                   "merging incompatible histograms");
+    for (std::size_t bucket = 0; bucket < buckets_.size(); ++bucket)
+        buckets_[bucket] += other.buckets_[bucket];
+    if (other.count_ > 0) {
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+TimeWeightedMean::update(sim::Tick now, double value)
+{
+    if (!started_) {
+        started_ = true;
+        start_ = last_ = now;
+        value_ = value;
+        return;
+    }
+    sim::simAssert(now >= last_, "time went backwards in stats");
+    integral_ += value_ * static_cast<double>(now - last_);
+    last_ = now;
+    value_ = value;
+}
+
+double
+TimeWeightedMean::meanUntil(sim::Tick now) const
+{
+    if (!started_ || now <= start_)
+        return 0.0;
+    double integral = integralUntil(now);
+    return integral / static_cast<double>(now - start_);
+}
+
+double
+TimeWeightedMean::integralUntil(sim::Tick now) const
+{
+    if (!started_)
+        return 0.0;
+    double integral = integral_;
+    if (now > last_)
+        integral += value_ * static_cast<double>(now - last_);
+    return integral;
+}
+
+} // namespace infless::metrics

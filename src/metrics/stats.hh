@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Streaming statistics primitives: counters and latency histograms with
+ * percentile queries.
+ */
+
+#ifndef INFLESS_METRICS_STATS_HH
+#define INFLESS_METRICS_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace infless::metrics {
+
+/**
+ * Log-bucketed histogram for latency-like quantities.
+ *
+ * Buckets grow geometrically, giving a bounded relative quantile error
+ * (~5%) over a microsecond-to-hour range with a few hundred buckets.
+ */
+class LatencyHistogram
+{
+  public:
+    /**
+     * @param growth Bucket width growth factor.
+     * @param max_value Largest representable value; larger samples clamp.
+     */
+    explicit LatencyHistogram(double growth = 1.1,
+                              sim::Tick max_value = sim::kTicksPerHour);
+
+    /** Record one sample (negative samples clamp to zero). */
+    void record(sim::Tick value);
+
+    std::int64_t count() const { return count_; }
+    sim::Tick min() const { return count_ ? min_ : 0; }
+    sim::Tick max() const { return count_ ? max_ : 0; }
+    double mean() const;
+
+    /**
+     * Approximate percentile (p in [0, 100]); 0 when empty.
+     */
+    sim::Tick percentile(double p) const;
+
+    /** Fraction of samples strictly greater than @p threshold. */
+    double fractionAbove(sim::Tick threshold) const;
+
+    /** Merge another histogram with identical parameters. */
+    void merge(const LatencyHistogram &other);
+
+  private:
+    std::size_t bucketOf(sim::Tick value) const;
+    sim::Tick bucketUpperEdge(std::size_t bucket) const;
+
+    double growth_;
+    double logGrowth_;
+    sim::Tick maxValue_;
+    std::vector<std::int64_t> buckets_;
+    std::int64_t count_ = 0;
+    double sum_ = 0.0;
+    sim::Tick min_ = 0;
+    sim::Tick max_ = 0;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant signal (e.g. instance
+ * count or allocated resources over time).
+ */
+class TimeWeightedMean
+{
+  public:
+    /** Observe the signal changing to @p value at time @p now. */
+    void update(sim::Tick now, double value);
+
+    /** Close the window at @p now and return the time-weighted mean. */
+    double meanUntil(sim::Tick now) const;
+
+    /** Last recorded value. */
+    double current() const { return value_; }
+
+    /** Integral of the signal so far (up to the last update). */
+    double integral() const { return integral_; }
+
+    /** Integral up to @p now including the running segment. */
+    double integralUntil(sim::Tick now) const;
+
+  private:
+    sim::Tick start_ = 0;
+    sim::Tick last_ = 0;
+    double value_ = 0.0;
+    double integral_ = 0.0;
+    bool started_ = false;
+};
+
+} // namespace infless::metrics
+
+#endif // INFLESS_METRICS_STATS_HH

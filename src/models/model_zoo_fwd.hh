@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Forward declarations for the model zoo.
+ */
+
+#ifndef INFLESS_MODELS_MODEL_ZOO_FWD_HH
+#define INFLESS_MODELS_MODEL_ZOO_FWD_HH
+
+namespace infless::models {
+
+struct ModelInfo;
+class ModelZoo;
+
+} // namespace infless::models
+
+#endif // INFLESS_MODELS_MODEL_ZOO_FWD_HH

@@ -1,0 +1,62 @@
+#include "profiler/cop.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace infless::profiler {
+
+CopPredictor::CopPredictor(OpProfileDb &db, CopOptions options)
+    : db_(db), options_(options)
+{
+    sim::simAssert(options_.safetyOffset >= 0.0,
+                   "safety offset must be non-negative");
+}
+
+double
+CopPredictor::rawMicros(const models::ModelInfo &model, int batch,
+                        const cluster::Resources &res) const
+{
+    std::uint64_t key = model.noiseKey;
+    key = sim::hashCombine(key, static_cast<std::uint64_t>(batch));
+    key = sim::hashCombine(key,
+                           static_cast<std::uint64_t>(res.cpuMillicores));
+    key = sim::hashCombine(key,
+                           static_cast<std::uint64_t>(res.gpuSmPercent));
+    if (auto it = memo_.find(key); it != memo_.end())
+        return it->second;
+
+    double path = model.dag.criticalPath([&](const models::OpNode &op) {
+        return db_.lookupMicros(op, batch, res);
+    });
+    // The per-batch dispatch cost is a platform constant the profiler
+    // measures once; it composes additively.
+    double micros = path + db_.truth().params().batchDispatchUs;
+    memo_.emplace(key, micros);
+    return micros;
+}
+
+sim::Tick
+CopPredictor::predict(const models::ModelInfo &model, int batch,
+                      const cluster::Resources &res) const
+{
+    double micros = rawMicros(model, batch, res) *
+                    (1.0 + options_.safetyOffset);
+    return std::max<sim::Tick>(
+        1, static_cast<sim::Tick>(std::llround(micros)));
+}
+
+double
+CopPredictor::predictionError(const models::ExecModel &truth,
+                              const models::ModelInfo &model, int batch,
+                              const cluster::Resources &res) const
+{
+    double predicted = rawMicros(model, batch, res);
+    double actual =
+        static_cast<double>(truth.trueTicks(model, batch, res));
+    sim::simAssert(actual > 0.0, "non-positive ground truth latency");
+    return std::abs(predicted - actual) / actual;
+}
+
+} // namespace infless::profiler

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Combined Operator Profiling (COP) latency predictor — §3.3.
+ *
+ * A model's batch execution time is estimated by composing its operators'
+ * profiled times over the task graph: sequence chains sum, parallel
+ * branches take the max. Predictions are inflated by a safety offset
+ * (10% by default) to absorb the composition error before they reach the
+ * scheduler.
+ */
+
+#ifndef INFLESS_PROFILER_COP_HH
+#define INFLESS_PROFILER_COP_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cluster/resources.hh"
+#include "models/exec_model.hh"
+#include "models/model_zoo.hh"
+#include "profiler/op_profile_db.hh"
+#include "sim/time.hh"
+
+namespace infless::profiler {
+
+/** Predictor tunables. */
+struct CopOptions
+{
+    /**
+     * Relative inflation applied to raw predictions. The paper uses 0.10;
+     * the OP1.5 / OP2 ablations of Fig. 11 use 0.50 / 1.00.
+     */
+    double safetyOffset = 0.10;
+};
+
+/**
+ * The latency predictor used by the scheduler: t_exec = f(b, c, g).
+ */
+class CopPredictor
+{
+  public:
+    /**
+     * @param db Profile database the composition reads from.
+     * @param options Safety-offset configuration.
+     */
+    CopPredictor(OpProfileDb &db, CopOptions options = {});
+
+    const CopOptions &options() const { return options_; }
+
+    /**
+     * Raw composed estimate (no safety offset), in microseconds.
+     */
+    double rawMicros(const models::ModelInfo &model, int batch,
+                     const cluster::Resources &res) const;
+
+    /**
+     * Scheduler-facing prediction with the safety offset applied.
+     */
+    sim::Tick predict(const models::ModelInfo &model, int batch,
+                      const cluster::Resources &res) const;
+
+    /**
+     * Relative prediction error |pred - truth| / truth of the *raw*
+     * estimate against the ground truth surface (Fig. 8's metric).
+     */
+    double predictionError(const models::ExecModel &truth,
+                           const models::ModelInfo &model, int batch,
+                           const cluster::Resources &res) const;
+
+  private:
+    OpProfileDb &db_;
+    CopOptions options_;
+    /** Memo of raw predictions keyed by (model, b, c, g); the scheduler
+     *  queries the same configurations thousands of times. */
+    mutable std::unordered_map<std::uint64_t, double> memo_;
+};
+
+} // namespace infless::profiler
+
+#endif // INFLESS_PROFILER_COP_HH

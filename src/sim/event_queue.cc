@@ -1,0 +1,84 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace infless::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < now_) {
+        panic("scheduling into the past: when=", when, " now=", now_);
+    }
+    EventId id = nextId_++;
+    heap_.push(Entry{when, priority, id, std::move(cb)});
+    live_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return live_.erase(id) > 0;
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!heap_.empty() && !live_.count(heap_.top().id))
+        heap_.pop();
+}
+
+bool
+EventQueue::popAndRun()
+{
+    skipDead();
+    if (heap_.empty())
+        return false;
+    Entry top = heap_.top();
+    heap_.pop();
+    live_.erase(top.id);
+    now_ = top.when;
+    ++executed_;
+    top.cb();
+    return true;
+}
+
+bool
+EventQueue::runNext()
+{
+    return popAndRun();
+}
+
+std::size_t
+EventQueue::runUntil(Tick until)
+{
+    std::size_t count = 0;
+    for (;;) {
+        skipDead();
+        if (heap_.empty() || heap_.top().when > until)
+            break;
+        if (!popAndRun())
+            break;
+        ++count;
+    }
+    if (until > now_)
+        now_ = until;
+    return count;
+}
+
+std::size_t
+EventQueue::runAll(std::size_t max_events)
+{
+    std::size_t count = 0;
+    while (count < max_events && popAndRun())
+        ++count;
+    if (count >= max_events) {
+        panic("event queue failed to drain after ", max_events, " events");
+    }
+    return count;
+}
+
+} // namespace infless::sim

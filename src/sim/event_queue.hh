@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Discrete-event queue.
+ *
+ * Events execute in (time, priority, insertion-order) order, giving fully
+ * deterministic simulations. Cancellation is O(1) via a live-id set; the
+ * heap discards dead entries lazily.
+ */
+
+#ifndef INFLESS_SIM_EVENT_QUEUE_HH
+#define INFLESS_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace infless::sim {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for "no event". */
+constexpr EventId kNoEvent = 0;
+
+/**
+ * Priority queue of timed callbacks driving the simulation clock.
+ *
+ * The clock only moves forward when events run; scheduling into the past
+ * panics.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to invoke.
+     * @param priority Lower values run first among same-tick events.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb, int priority = 0);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event was still pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Whether any live events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of live (non-cancelled, not-yet-run) events. */
+    std::size_t pending() const { return live_.size(); }
+
+    /**
+     * Run the next event, advancing the clock to its timestamp.
+     *
+     * @return false if no event was available.
+     */
+    bool runNext();
+
+    /**
+     * Run all events with timestamps <= @p until, then advance the clock to
+     * @p until.
+     *
+     * @return Number of events executed.
+     */
+    std::size_t runUntil(Tick until);
+
+    /**
+     * Drain the queue completely.
+     *
+     * @param max_events Safety valve against runaway self-rescheduling.
+     * @return Number of events executed.
+     */
+    std::size_t runAll(std::size_t max_events = 500'000'000);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    /** Drop heap entries whose ids are no longer live. */
+    void skipDead();
+
+    bool popAndRun();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> live_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace infless::sim
+
+#endif // INFLESS_SIM_EVENT_QUEUE_HH

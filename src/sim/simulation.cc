@@ -1,0 +1,8 @@
+#include "sim/simulation.hh"
+
+// Simulation is header-only today; this translation unit anchors the
+// library and keeps a stable home for future out-of-line definitions.
+
+namespace infless::sim {
+
+} // namespace infless::sim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Simulation context: clock + event queue + seeded randomness.
+ *
+ * Components hold a reference to one Simulation and interact with simulated
+ * time exclusively through it.
+ */
+
+#ifndef INFLESS_SIM_SIMULATION_HH
+#define INFLESS_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace infless::sim {
+
+/**
+ * The top-level simulation object.
+ *
+ * Owns the event queue and the root random stream. Provides relative-time
+ * scheduling sugar and periodic events.
+ */
+class Simulation
+{
+  public:
+    /**
+     * @param seed Root random seed; the whole run is a deterministic
+     *             function of it.
+     */
+    explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** The event queue (for advanced scheduling). */
+    EventQueue &events() { return events_; }
+
+    /** The root random stream. */
+    Rng &rng() { return rng_; }
+
+    /** Derive an independent random substream for a component. */
+    Rng forkRng(std::uint64_t key) { return rng_.fork(key); }
+
+    /** Schedule at an absolute tick. */
+    EventId
+    at(Tick when, EventQueue::Callback cb, int priority = 0)
+    {
+        return events_.schedule(when, std::move(cb), priority);
+    }
+
+    /** Schedule @p delay ticks from now. */
+    EventId
+    after(Tick delay, EventQueue::Callback cb, int priority = 0)
+    {
+        return events_.schedule(now() + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Schedule a periodic callback.
+     *
+     * The callback receives no arguments and re-arms itself until the
+     * returned handle's stop() is invoked or the horizon passes.
+     */
+    class Periodic
+    {
+      public:
+        /** Stop future firings. */
+        void stop() { stopped_ = true; }
+        bool stopped() const { return stopped_; }
+
+      private:
+        friend class Simulation;
+        bool stopped_ = false;
+    };
+
+    /**
+     * Fire @p cb every @p period ticks, first at now()+period.
+     *
+     * @param horizon Stop (silently) once the clock passes this tick.
+     * @return Shared handle whose stop() cancels the series.
+     */
+    std::shared_ptr<Periodic>
+    every(Tick period, std::function<void()> cb, Tick horizon = kTickNever)
+    {
+        auto handle = std::make_shared<Periodic>();
+        scheduleTick(handle, period, std::move(cb), horizon);
+        return handle;
+    }
+
+    /** Run the simulation until the queue drains. */
+    std::size_t run() { return events_.runAll(); }
+
+    /** Run the simulation up to an absolute tick. */
+    std::size_t runUntil(Tick until) { return events_.runUntil(until); }
+
+  private:
+    void
+    scheduleTick(std::shared_ptr<Periodic> handle, Tick period,
+                 std::function<void()> cb, Tick horizon)
+    {
+        Tick next = now() + period;
+        if (next > horizon)
+            return;
+        events_.schedule(next, [this, handle, period, cb, horizon]() {
+            if (handle->stopped())
+                return;
+            cb();
+            if (!handle->stopped())
+                scheduleTick(handle, period, cb, horizon);
+        });
+    }
+
+    EventQueue events_;
+    Rng rng_;
+};
+
+} // namespace infless::sim
+
+#endif // INFLESS_SIM_SIMULATION_HH

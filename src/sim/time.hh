@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulated-time primitives.
+ *
+ * All simulation time is expressed in integer microseconds ("ticks") to keep
+ * event ordering exact and reproducible. Helpers convert to and from the
+ * floating-point millisecond/second units used by the paper's equations.
+ */
+
+#ifndef INFLESS_SIM_TIME_HH
+#define INFLESS_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace infless::sim {
+
+/** One tick is one microsecond of simulated time. */
+using Tick = std::int64_t;
+
+constexpr Tick kTicksPerUs = 1;
+constexpr Tick kTicksPerMs = 1'000;
+constexpr Tick kTicksPerSec = 1'000'000;
+constexpr Tick kTicksPerMin = 60 * kTicksPerSec;
+constexpr Tick kTicksPerHour = 60 * kTicksPerMin;
+constexpr Tick kTicksPerDay = 24 * kTicksPerHour;
+
+/** Largest representable time; used as "never". */
+constexpr Tick kTickNever = INT64_MAX;
+
+/** Convert a millisecond quantity to ticks (rounding to nearest). */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * kTicksPerMs + (ms >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert a second quantity to ticks (rounding to nearest). */
+constexpr Tick
+secToTicks(double sec)
+{
+    return static_cast<Tick>(sec * kTicksPerSec + (sec >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / kTicksPerMs;
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / kTicksPerSec;
+}
+
+} // namespace infless::sim
+
+#endif // INFLESS_SIM_TIME_HH

@@ -1,0 +1,172 @@
+#include "workload/azure_synth.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace infless::workload {
+
+namespace {
+
+/** Diurnal long-term-periodicity base shape: daytime peak, night trough. */
+double
+diurnalFactor(double minutes_into_day, double amplitude)
+{
+    // Peak mid-afternoon (minute 870 ~= 14:30), trough before dawn.
+    double phase = 2.0 * std::numbers::pi *
+                   (minutes_into_day - 870.0) / (24.0 * 60.0);
+    return 1.0 + amplitude * std::cos(phase);
+}
+
+RateSeries
+synthPeriodic(const AzureSynthParams &p, sim::Rng &rng, double noise_sigma)
+{
+    RateSeries series;
+    series.binWidth = p.binWidth;
+    auto bins = static_cast<std::size_t>(
+        p.days * 24.0 * 60.0 *
+        (static_cast<double>(sim::kTicksPerMin) /
+         static_cast<double>(p.binWidth)));
+    series.rps.reserve(bins);
+    double bin_minutes = sim::ticksToSec(p.binWidth) / 60.0;
+    for (std::size_t bin = 0; bin < bins; ++bin) {
+        double minute =
+            static_cast<double>(bin) * bin_minutes;
+        double minutes_into_day = std::fmod(minute, 24.0 * 60.0);
+        double rate = p.meanRps *
+                      diurnalFactor(minutes_into_day, p.diurnalAmplitude);
+        rate *= std::exp(rng.normal(0.0, noise_sigma));
+        series.rps.push_back(std::max(0.0, rate));
+    }
+    return series;
+}
+
+void
+addBursts(RateSeries &series, const AzureSynthParams &p, sim::Rng &rng)
+{
+    double bin_minutes = sim::ticksToSec(series.binWidth) / 60.0;
+    double total_minutes =
+        static_cast<double>(series.rps.size()) * bin_minutes;
+    double expected_bursts = p.burstsPerDay * total_minutes / (24.0 * 60.0);
+    auto count = rng.poisson(expected_bursts);
+    for (std::int64_t burst = 0; burst < count; ++burst) {
+        auto start_bin = static_cast<std::size_t>(
+            rng.uniform() * static_cast<double>(series.rps.size()));
+        double duration_min =
+            std::max(1.0, rng.exponential(1.0 / p.burstMinutes));
+        auto dur_bins = static_cast<std::size_t>(
+            std::max(1.0, duration_min / bin_minutes));
+        // Bursts spike upward most of the time; occasionally the rate
+        // collapses instead (the paper notes sudden decreases too).
+        bool spike = rng.uniform() < 0.8;
+        double magnitude =
+            spike ? 1.0 + rng.exponential(1.0 / p.burstAmplitude)
+                  : rng.uniform(0.0, 0.3);
+        for (std::size_t i = 0;
+             i < dur_bins && start_bin + i < series.rps.size(); ++i) {
+            series.rps[start_bin + i] *= magnitude;
+        }
+    }
+}
+
+RateSeries
+synthSporadic(const AzureSynthParams &p, sim::Rng &rng)
+{
+    RateSeries series;
+    series.binWidth = p.binWidth;
+    auto bins = static_cast<std::size_t>(
+        p.days * 24.0 * 60.0 *
+        (static_cast<double>(sim::kTicksPerMin) /
+         static_cast<double>(p.binWidth)));
+    series.rps.assign(bins, 0.0);
+    double bin_minutes = sim::ticksToSec(series.binWidth) / 60.0;
+
+    // Alternate off/on episodes; on-episodes carry the whole load, so the
+    // on-rate is mean * (on+off)/on to preserve the time average.
+    double duty = p.sporadicOnMinutes /
+                  (p.sporadicOnMinutes + p.sporadicOffMinutes);
+    double on_rate = p.meanRps / duty;
+    double minute = rng.exponential(1.0 / p.sporadicOffMinutes);
+    while (minute < static_cast<double>(bins) * bin_minutes) {
+        double on_len =
+            std::max(0.5, rng.exponential(1.0 / p.sporadicOnMinutes));
+        double episode_rate =
+            on_rate * std::exp(rng.normal(0.0, 0.4));
+        auto first = static_cast<std::size_t>(minute / bin_minutes);
+        auto last = static_cast<std::size_t>(
+            (minute + on_len) / bin_minutes);
+        for (std::size_t bin = first; bin <= last && bin < bins; ++bin)
+            series.rps[bin] = episode_rate;
+        minute += on_len + rng.exponential(1.0 / p.sporadicOffMinutes);
+    }
+    return series;
+}
+
+/** Rescale so the time-average rate equals the target exactly. */
+void
+normalizeMean(RateSeries &series, double target)
+{
+    double mean = series.meanRps();
+    if (mean <= 0.0)
+        return;
+    double factor = target / mean;
+    for (double &r : series.rps)
+        r *= factor;
+}
+
+} // namespace
+
+const char *
+tracePatternName(TracePattern p)
+{
+    switch (p) {
+      case TracePattern::Sporadic:
+        return "sporadic";
+      case TracePattern::Periodic:
+        return "periodic";
+      case TracePattern::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+RateSeries
+synthesizeTrace(const AzureSynthParams &params)
+{
+    sim::simAssert(params.meanRps >= 0.0, "meanRps must be >= 0");
+    sim::simAssert(params.days > 0.0, "days must be > 0");
+    sim::Rng rng(params.seed);
+
+    RateSeries series;
+    switch (params.pattern) {
+      case TracePattern::Periodic:
+        series = synthPeriodic(params, rng, 0.05);
+        break;
+      case TracePattern::Bursty:
+        series = synthPeriodic(params, rng, 0.10);
+        addBursts(series, params, rng);
+        break;
+      case TracePattern::Sporadic:
+        series = synthSporadic(params, rng);
+        break;
+    }
+    normalizeMean(series, params.meanRps);
+    return series;
+}
+
+RateSeries
+synthesizeTrace(TracePattern pattern, double mean_rps, double days,
+                std::uint64_t seed)
+{
+    AzureSynthParams params;
+    params.pattern = pattern;
+    params.meanRps = mean_rps;
+    params.days = days;
+    params.seed = seed;
+    return synthesizeTrace(params);
+}
+
+} // namespace infless::workload

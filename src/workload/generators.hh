@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Basic workload generators: constant rates and Poisson arrivals.
+ */
+
+#ifndef INFLESS_WORKLOAD_GENERATORS_HH
+#define INFLESS_WORKLOAD_GENERATORS_HH
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+#include "workload/trace.hh"
+
+namespace infless::workload {
+
+/**
+ * Constant-rate series of @p rps over @p duration.
+ */
+RateSeries constantRate(double rps, sim::Tick duration,
+                        sim::Tick bin_width = sim::kTicksPerMin);
+
+/**
+ * Homogeneous Poisson arrivals at @p rps over @p duration.
+ */
+ArrivalTrace poissonArrivals(double rps, sim::Tick duration, sim::Rng &rng);
+
+/**
+ * Deterministic evenly spaced arrivals (useful in unit tests).
+ */
+ArrivalTrace uniformArrivals(double rps, sim::Tick duration);
+
+} // namespace infless::workload
+
+#endif // INFLESS_WORKLOAD_GENERATORS_HH

@@ -1,0 +1,101 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace infless::workload {
+
+double
+RateSeries::rpsAt(sim::Tick t) const
+{
+    if (t < 0 || rps.empty())
+        return 0.0;
+    auto bin = static_cast<std::size_t>(t / binWidth);
+    if (bin >= rps.size())
+        return 0.0;
+    return rps[bin];
+}
+
+double
+RateSeries::meanRps() const
+{
+    if (rps.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double r : rps)
+        sum += r;
+    return sum / static_cast<double>(rps.size());
+}
+
+double
+RateSeries::peakRps() const
+{
+    double peak = 0.0;
+    for (double r : rps)
+        peak = std::max(peak, r);
+    return peak;
+}
+
+RateSeries
+RateSeries::scaled(double factor) const
+{
+    RateSeries out = *this;
+    for (double &r : out.rps)
+        r *= factor;
+    return out;
+}
+
+RateSeries
+RateSeries::truncated(sim::Tick duration) const
+{
+    RateSeries out;
+    out.binWidth = binWidth;
+    auto bins = static_cast<std::size_t>(
+        (duration + binWidth - 1) / binWidth);
+    bins = std::min(bins, rps.size());
+    out.rps.assign(rps.begin(), rps.begin() + static_cast<long>(bins));
+    return out;
+}
+
+ArrivalTrace::ArrivalTrace(std::vector<sim::Tick> arrivals)
+    : arrivals_(std::move(arrivals))
+{
+    sim::simAssert(std::is_sorted(arrivals_.begin(), arrivals_.end()),
+                   "arrival trace must be sorted");
+}
+
+ArrivalTrace
+ArrivalTrace::fromRateSeries(const RateSeries &series, sim::Rng &rng)
+{
+    std::vector<sim::Tick> arrivals;
+    double bin_seconds = sim::ticksToSec(series.binWidth);
+    for (std::size_t bin = 0; bin < series.rps.size(); ++bin) {
+        double mean = series.rps[bin] * bin_seconds;
+        std::int64_t count = rng.poisson(mean);
+        sim::Tick start =
+            static_cast<sim::Tick>(bin) * series.binWidth;
+        for (std::int64_t i = 0; i < count; ++i) {
+            arrivals.push_back(
+                start + static_cast<sim::Tick>(
+                            rng.uniform() *
+                            static_cast<double>(series.binWidth)));
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    return ArrivalTrace(std::move(arrivals));
+}
+
+std::vector<sim::Tick>
+ArrivalTrace::idleGaps() const
+{
+    std::vector<sim::Tick> gaps;
+    if (arrivals_.size() < 2)
+        return gaps;
+    gaps.reserve(arrivals_.size() - 1);
+    for (std::size_t i = 1; i < arrivals_.size(); ++i)
+        gaps.push_back(arrivals_[i] - arrivals_[i - 1]);
+    return gaps;
+}
+
+} // namespace infless::workload

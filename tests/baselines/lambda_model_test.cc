@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the Lambda proportional CPU-memory model (Observations 1-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/lambda_model.hh"
+#include "models/model_zoo.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using infless::baselines::LambdaModel;
+using infless::models::ModelZoo;
+using infless::sim::kTickNever;
+using infless::sim::msToTicks;
+
+TEST(LambdaModelTest, CpuQuotaIsProportionalToMemory)
+{
+    EXPECT_EQ(LambdaModel::cpuQuotaMillicores(1769), 1000);
+    EXPECT_NEAR(static_cast<double>(
+                    LambdaModel::cpuQuotaMillicores(3008)),
+                1700.0, 5.0);
+    EXPECT_LT(LambdaModel::cpuQuotaMillicores(128), 100);
+}
+
+TEST(LambdaModelTest, ResourcesAreCpuOnly)
+{
+    auto res = LambdaModel::resourcesFor(1024);
+    EXPECT_EQ(res.gpuSmPercent, 0);
+    EXPECT_EQ(res.memoryMb, 1024);
+}
+
+TEST(LambdaModelTest, SsdConsumptionMatchesPaperExample)
+{
+    // §2.2: serving SSD actually consumes ~427 MB.
+    const auto &ssd = ModelZoo::shared().get("SSD");
+    EXPECT_NEAR(LambdaModel::actualConsumptionMb(ssd), 427.0, 5.0);
+}
+
+TEST(LambdaModelTest, SmallMemoryCannotLoadLargeModels)
+{
+    LambdaModel lambda;
+    const auto &bert = ModelZoo::shared().get("Bert-v1");
+    EXPECT_EQ(lambda.invokeTicks(bert, 512), kTickNever);
+    EXPECT_NE(lambda.invokeTicks(bert, 3008), kTickNever);
+}
+
+TEST(LambdaModelTest, Observation1LargeModelsMiss200msEverywhere)
+{
+    LambdaModel lambda;
+    for (const char *name : {"Bert-v1", "ResNet-50", "VGGNet"}) {
+        const auto &info = ModelZoo::shared().get(name);
+        EXPECT_EQ(lambda.minMemoryForSlo(info, msToTicks(200)), -1)
+            << name;
+    }
+}
+
+TEST(LambdaModelTest, SmallModelsMeet50msOnceLoaded)
+{
+    LambdaModel lambda;
+    for (const char *name : {"MNIST", "TextCNN-69", "LSTM-2365"}) {
+        const auto &info = ModelZoo::shared().get(name);
+        auto mem = lambda.minMemoryForSlo(info, msToTicks(50));
+        EXPECT_GT(mem, 0) << name;
+    }
+}
+
+TEST(LambdaModelTest, Observation2BatchingMultipliesLatency)
+{
+    LambdaModel lambda;
+    const auto &ssd = ModelZoo::shared().get("SSD");
+    auto t1 = lambda.invokeTicks(ssd, 3008, 1);
+    auto t4 = lambda.invokeTicks(ssd, 3008, 4);
+    ASSERT_NE(t1, kTickNever);
+    ASSERT_NE(t4, kTickNever);
+    EXPECT_GT(t4, 3 * t1);
+}
+
+TEST(LambdaModelTest, Observation3OverProvisioningForSlo)
+{
+    LambdaModel lambda;
+    const auto &mobilenet = ModelZoo::shared().get("MobileNet");
+    double ratio = lambda.overProvisionRatio(mobilenet, msToTicks(200));
+    // Meeting the SLO requires far more memory than consumed.
+    EXPECT_GT(ratio, 0.0);
+    EXPECT_LT(ratio, 1.0);
+}
+
+TEST(LambdaModelTest, MoreMemoryIsFaster)
+{
+    LambdaModel lambda;
+    const auto &ssd = ModelZoo::shared().get("SSD");
+    auto slow = lambda.invokeTicks(ssd, 1024);
+    auto fast = lambda.invokeTicks(ssd, 3008);
+    EXPECT_GT(slow, fast);
+}
+
+TEST(LambdaModelTest, MemoryGridIsSortedAscending)
+{
+    const auto &sizes = LambdaModel::memorySizesMb();
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_GT(sizes[i], sizes[i - 1]);
+    EXPECT_EQ(sizes.front(), 128);
+    EXPECT_EQ(sizes.back(), 3008);
+}
+
+} // namespace

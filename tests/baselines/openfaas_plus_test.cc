@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the OpenFaaS+ baseline: one-to-one mapping, uniform fixed
+ * configuration, fixed keep-alive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/batch_otp.hh"
+#include "baselines/openfaas_plus.hh"
+#include "core/platform.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using infless::baselines::OpenFaasPlus;
+using infless::core::FunctionSpec;
+using infless::core::Platform;
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::msToTicks;
+using infless::workload::uniformArrivals;
+
+FunctionSpec
+resnetSpec()
+{
+    return FunctionSpec{"resnet", "ResNet-50", msToTicks(200), 32};
+}
+
+TEST(OpenFaasPlusTest, NeverBatches)
+{
+    OpenFaasPlus p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, kTicksPerMin));
+    p.run(kTicksPerMin + 5 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.completions(), 0);
+    EXPECT_DOUBLE_EQ(m.meanBatchFill(), 1.0);
+    EXPECT_EQ(m.batches(), m.completions());
+}
+
+TEST(OpenFaasPlusTest, UsesSingleUniformConfig)
+{
+    OpenFaasPlus p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, kTicksPerMin));
+    p.run(kTicksPerMin);
+    auto usage = p.configUsage(fn);
+    ASSERT_EQ(usage.size(), 1u);
+    EXPECT_EQ(usage[0].config.batchSize, 1);
+    EXPECT_EQ(usage[0].config.resources.cpuMillicores, 2000);
+    EXPECT_EQ(usage[0].config.resources.gpuSmPercent, 10);
+}
+
+TEST(OpenFaasPlusTest, OneToOneNeedsMoreConcurrentInstancesThanBatching)
+{
+    // Observation 4 / Fig. 3a: the one-to-one mapping needs far more
+    // instances than a batching system for the same load.
+    auto peak_live = [](auto &platform) {
+        auto fn = platform.deploy(resnetSpec());
+        platform.injectTrace(fn, uniformArrivals(80.0, kTicksPerMin));
+        int peak = 0;
+        for (int s = 10; s <= 60; s += 10) {
+            platform.run(s * kTicksPerSec);
+            peak = std::max(peak, platform.liveInstanceCount());
+        }
+        return peak;
+    };
+    OpenFaasPlus ofp(8);
+    infless::baselines::BatchOtp batch(8);
+    EXPECT_GT(peak_live(ofp), peak_live(batch));
+}
+
+TEST(OpenFaasPlusTest, HoldsInstancesForFixedKeepAlive)
+{
+    OpenFaasPlus p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(30.0, 30 * kTicksPerSec));
+    p.run(30 * kTicksPerSec);
+    int at_load_end = p.liveInstanceCount();
+    EXPECT_GT(at_load_end, 0);
+    // 100s later (well within the 300s keep-alive) nothing was reaped.
+    p.run(130 * kTicksPerSec);
+    EXPECT_EQ(p.liveInstanceCount(), at_load_end);
+    // Past the keep-alive window everything is gone.
+    p.run(30 * kTicksPerSec + 400 * kTicksPerSec);
+    EXPECT_EQ(p.liveInstanceCount(), 0);
+}
+
+TEST(OpenFaasPlusTest, NameIsReported)
+{
+    OpenFaasPlus p(2);
+    EXPECT_EQ(p.name(), "OpenFaaS+");
+}
+
+} // namespace

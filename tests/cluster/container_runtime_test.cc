@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the cold-start cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/container_runtime.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using infless::cluster::ColdStartParams;
+using infless::cluster::ContainerRuntime;
+using infless::sim::msToTicks;
+
+TEST(ContainerRuntimeTest, ColdStartGrowsWithModelSize)
+{
+    ContainerRuntime rt;
+    auto small = rt.coldStartTicks(10);
+    auto large = rt.coldStartTicks(400);
+    EXPECT_GT(large, small);
+    // The marginal cost is the per-MB load time.
+    EXPECT_EQ(large - small, 390 * rt.params().loadPerMb);
+}
+
+TEST(ContainerRuntimeTest, ColdStartIsSecondsScaleForBigModels)
+{
+    ContainerRuntime rt;
+    // Bert-v1 at 391 MB should take multiple seconds, far above its
+    // execution time (the paper's observation in 3.5).
+    EXPECT_GT(rt.coldStartTicks(391), msToTicks(2000));
+    EXPECT_LT(rt.coldStartTicks(391), msToTicks(10'000));
+}
+
+TEST(ContainerRuntimeTest, WarmStartIsNegligible)
+{
+    ContainerRuntime rt;
+    EXPECT_LT(rt.warmStartTicks(), msToTicks(10));
+    EXPECT_LT(rt.warmStartTicks() * 100, rt.coldStartTicks(1));
+}
+
+TEST(ContainerRuntimeTest, AcceleratedStartupIsMuchFaster)
+{
+    // SOCK/Catalyzer-style startup (3.5): an order of magnitude below
+    // the stock path, leaving the model load as the main cost.
+    ContainerRuntime stock;
+    ContainerRuntime fast(infless::cluster::acceleratedColdStartParams());
+    EXPECT_LT(fast.coldStartTicks(98) * 3, stock.coldStartTicks(98));
+    EXPECT_LT(fast.coldStartTicks(98), msToTicks(500));
+    // Still far from free for big models (the weights must load).
+    EXPECT_GT(fast.coldStartTicks(391), msToTicks(1000));
+}
+
+TEST(ContainerRuntimeTest, CustomParamsHonored)
+{
+    ColdStartParams params;
+    params.containerCreate = msToTicks(100);
+    params.libraryInit = msToTicks(50);
+    params.loadPerMb = msToTicks(2);
+    ContainerRuntime rt(params);
+    EXPECT_EQ(rt.coldStartTicks(10), msToTicks(100 + 50 + 20));
+}
+
+} // namespace

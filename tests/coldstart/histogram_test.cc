@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the sliding-window idle-time histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "coldstart/histogram.hh"
+
+namespace {
+
+using infless::coldstart::IdleTimeHistogram;
+using infless::sim::kTicksPerHour;
+using infless::sim::kTicksPerMin;
+using infless::sim::Tick;
+
+TEST(HistogramTest, EmptyHistogramReportsZero)
+{
+    IdleTimeHistogram h(kTicksPerHour);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0);
+    EXPECT_DOUBLE_EQ(h.overflowFraction(), 0.0);
+}
+
+TEST(HistogramTest, RecordInvocationDerivesGaps)
+{
+    IdleTimeHistogram h(kTicksPerHour);
+    h.recordInvocation(0);
+    EXPECT_EQ(h.count(), 0u); // first invocation has no gap
+    h.recordInvocation(5 * kTicksPerMin);
+    EXPECT_EQ(h.count(), 1u);
+    h.recordInvocation(7 * kTicksPerMin);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(HistogramTest, PercentilesUseBinUpperEdges)
+{
+    IdleTimeHistogram h(kTicksPerHour);
+    // Gaps of 0.5, 1.5, 2.5 ... 9.5 minutes.
+    for (int i = 0; i < 10; ++i) {
+        h.addSample(i * kTicksPerMin + kTicksPerMin / 2,
+                    static_cast<Tick>(i));
+    }
+    EXPECT_EQ(h.percentile(10), 1 * kTicksPerMin);
+    EXPECT_EQ(h.percentile(50), 5 * kTicksPerMin);
+    EXPECT_EQ(h.percentile(100), 10 * kTicksPerMin);
+}
+
+TEST(HistogramTest, PercentileMonotoneInP)
+{
+    IdleTimeHistogram h(kTicksPerHour);
+    for (int i = 1; i <= 100; ++i)
+        h.addSample(i * kTicksPerMin / 3, i);
+    Tick prev = 0;
+    for (double p : {5.0, 25.0, 50.0, 75.0, 95.0, 99.0}) {
+        Tick v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(HistogramTest, WindowEvictsOldSamples)
+{
+    IdleTimeHistogram h(kTicksPerHour);
+    h.addSample(kTicksPerMin, 0);
+    h.addSample(2 * kTicksPerMin, 30 * kTicksPerMin);
+    EXPECT_EQ(h.count(), 2u);
+    // Observing at 70 min evicts the t=0 sample (outside 60-min window).
+    h.evict(70 * kTicksPerMin);
+    EXPECT_EQ(h.count(), 1u);
+    // The remaining sample is the 2-minute gap (bin upper edge: 3 min).
+    EXPECT_EQ(h.percentile(100), 3 * kTicksPerMin);
+}
+
+TEST(HistogramTest, OverflowSamplesLandInOverflowBin)
+{
+    IdleTimeHistogram h(24 * kTicksPerHour, kTicksPerMin,
+                        4 * kTicksPerHour);
+    h.addSample(10 * kTicksPerHour, 0); // beyond the 4h range
+    h.addSample(kTicksPerMin, 1);
+    EXPECT_NEAR(h.overflowFraction(), 0.5, 1e-12);
+    // The overflow reports as the range cap.
+    EXPECT_EQ(h.percentile(100), 4 * kTicksPerHour);
+}
+
+TEST(HistogramTest, NegativeGapClampsToZeroBin)
+{
+    IdleTimeHistogram h(kTicksPerHour);
+    h.addSample(-5, 0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.percentile(100), kTicksPerMin); // first bin upper edge
+}
+
+TEST(HistogramTest, BadPercentilePanics)
+{
+    IdleTimeHistogram h(kTicksPerHour);
+    EXPECT_THROW(h.percentile(-1), infless::sim::PanicError);
+    EXPECT_THROW(h.percentile(101), infless::sim::PanicError);
+}
+
+TEST(HistogramTest, EvictionKeepsBinCountsConsistent)
+{
+    IdleTimeHistogram h(10 * kTicksPerMin);
+    for (int i = 0; i < 50; ++i)
+        h.addSample(kTicksPerMin, i * kTicksPerMin);
+    // Window is 10 minutes: at observation time 49 min, only samples
+    // observed in (39, 49] survive.
+    EXPECT_LE(h.count(), 11u);
+    // All surviving samples are 1-minute gaps (bin upper edge: 2 min).
+    EXPECT_EQ(h.percentile(100), 2 * kTicksPerMin);
+}
+
+} // namespace

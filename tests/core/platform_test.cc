@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the INFless platform end-to-end behaviour on small runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "core/platform.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using infless::core::FunctionSpec;
+using infless::core::Platform;
+using infless::core::PlatformOptions;
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::msToTicks;
+using infless::sim::Tick;
+using infless::workload::constantRate;
+using infless::workload::uniformArrivals;
+
+FunctionSpec
+resnetSpec(Tick slo = msToTicks(200))
+{
+    FunctionSpec spec;
+    spec.name = "resnet";
+    spec.model = "ResNet-50";
+    spec.sloTicks = slo;
+    return spec;
+}
+
+TEST(PlatformTest, DeployValidatesModel)
+{
+    Platform p(2);
+    EXPECT_THROW(
+        p.deploy(FunctionSpec{"x", "NoSuchModel", msToTicks(100), 8}),
+        infless::sim::FatalError);
+    EXPECT_EQ(p.deploy(resnetSpec()), 0);
+    EXPECT_EQ(p.functionCount(), 1u);
+}
+
+TEST(PlatformTest, IdleRunHasNoActivity)
+{
+    Platform p(2);
+    p.deploy(resnetSpec());
+    p.run(10 * kTicksPerSec);
+    EXPECT_EQ(p.totalMetrics().arrivals(), 0);
+    EXPECT_EQ(p.totalLaunches(), 0);
+    EXPECT_EQ(p.liveInstanceCount(), 0);
+}
+
+TEST(PlatformTest, ServesConstantLoadWithinSlo)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(50.0, 2 * kTicksPerMin));
+    p.run(2 * kTicksPerMin + 5 * kTicksPerSec);
+
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.arrivals(), 5000);
+    // Nearly everything completes (tail may still be in flight).
+    EXPECT_GT(m.completions(), m.arrivals() * 9 / 10);
+    // SLO violations are confined to the cold-start ramp.
+    EXPECT_LT(m.sloViolationRate(), 0.10);
+    EXPECT_GT(p.totalLaunches(), 0);
+}
+
+TEST(PlatformTest, RequestsAreConserved)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(80.0, kTicksPerMin));
+    p.run(kTicksPerMin + 10 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    // completed + dropped + still-in-flight == arrivals; after the grace
+    // window nothing should be in flight under steady load.
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+}
+
+TEST(PlatformTest, BatchingAggregatesRequests)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(100.0, kTicksPerMin));
+    p.run(kTicksPerMin + 10 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    // Under 100 RPS the batcher should aggregate multiple requests.
+    EXPECT_GT(m.meanBatchFill(), 1.5);
+    EXPECT_LT(m.batches(), m.completions());
+}
+
+TEST(PlatformTest, ColdStartsOnlyAtRampUp)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(40.0, 2 * kTicksPerMin));
+    p.run(2 * kTicksPerMin);
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.coldLaunches(), 0);
+    // Under steady load instances stay warm: few launches overall.
+    EXPECT_LT(m.launches(), 30);
+}
+
+TEST(PlatformTest, ScalesInAfterLoadDrops)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    // 1 minute of load, then nothing.
+    p.injectTrace(fn, uniformArrivals(100.0, kTicksPerMin));
+    p.run(kTicksPerMin);
+    int peak = p.liveInstanceCount();
+    EXPECT_GT(peak, 0);
+    p.run(20 * kTicksPerMin);
+    EXPECT_LT(p.liveInstanceCount(), peak);
+}
+
+TEST(PlatformTest, PerFunctionMetricsSeparateWorkloads)
+{
+    Platform p(4);
+    auto heavy = p.deploy(resnetSpec());
+    FunctionSpec mnist{"mnist", "MNIST", msToTicks(50), 32};
+    auto light = p.deploy(mnist);
+    p.injectTrace(heavy, uniformArrivals(30.0, kTicksPerMin));
+    p.injectTrace(light, uniformArrivals(10.0, kTicksPerMin));
+    p.run(kTicksPerMin + 5 * kTicksPerSec);
+    EXPECT_GT(p.functionMetrics(heavy).arrivals(), 1500);
+    EXPECT_GT(p.functionMetrics(light).arrivals(), 500);
+    EXPECT_EQ(p.functionMetrics(heavy).arrivals() +
+                  p.functionMetrics(light).arrivals(),
+              p.totalMetrics().arrivals());
+}
+
+TEST(PlatformTest, ConfigUsageRecordsNonUniformLaunches)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(150.0, kTicksPerMin));
+    p.run(kTicksPerMin);
+    auto usage = p.configUsage(fn);
+    EXPECT_FALSE(usage.empty());
+    std::int64_t launches = 0;
+    for (const auto &u : usage)
+        launches += u.launches;
+    EXPECT_EQ(launches, p.totalLaunches());
+}
+
+TEST(PlatformTest, ClusterAllocationsBalanceAtQuiescence)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, 30 * kTicksPerSec));
+    // Run far past all keep-alive windows.
+    p.run(4 * 60 * kTicksPerMin);
+    EXPECT_EQ(p.liveInstanceCount(), 0);
+    EXPECT_TRUE(p.cluster().totalAllocated().isZero());
+}
+
+TEST(PlatformTest, InfeasibleSloDropsRequests)
+{
+    PlatformOptions opts;
+    Platform p(4, opts);
+    auto fn = p.deploy(FunctionSpec{"bert", "Bert-v1", msToTicks(5), 32});
+    p.injectTrace(fn, uniformArrivals(10.0, 10 * kTicksPerSec));
+    p.run(20 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(m.completions(), 0);
+    EXPECT_EQ(m.drops(), m.arrivals());
+}
+
+TEST(PlatformTest, TightSloUsesSmallerBatches)
+{
+    Platform tight(4), loose(4);
+    auto ft = tight.deploy(resnetSpec(msToTicks(120)));
+    auto fl = loose.deploy(resnetSpec(msToTicks(400)));
+    tight.injectTrace(ft, uniformArrivals(100.0, kTicksPerMin));
+    loose.injectTrace(fl, uniformArrivals(100.0, kTicksPerMin));
+    tight.run(kTicksPerMin + 5 * kTicksPerSec);
+    loose.run(kTicksPerMin + 5 * kTicksPerSec);
+    EXPECT_LE(tight.totalMetrics().meanBatchFill(),
+              loose.totalMetrics().meanBatchFill() + 0.5);
+}
+
+TEST(PlatformTest, DeterministicUnderSeed)
+{
+    auto run_once = [](std::uint64_t seed) {
+        PlatformOptions opts;
+        opts.seed = seed;
+        Platform p(4, opts);
+        auto fn = p.deploy(resnetSpec());
+        p.injectRateSeries(fn, constantRate(60.0, 30 * kTicksPerSec));
+        p.run(40 * kTicksPerSec);
+        return p.totalMetrics().completions();
+    };
+    EXPECT_EQ(run_once(5), run_once(5));
+}
+
+TEST(PlatformTest, InstanceSnapshotsReflectLiveFleet)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(100.0, 30 * kTicksPerSec));
+    p.run(30 * kTicksPerSec);
+    auto snapshots = p.instanceSnapshots(fn);
+    ASSERT_EQ(static_cast<int>(snapshots.size()),
+              p.liveInstanceCount(fn));
+    for (const auto &snap : snapshots) {
+        EXPECT_EQ(snap.function, fn);
+        EXPECT_GE(snap.server, 0);
+        EXPECT_GT(snap.rUp, 0.0);
+        EXPECT_LE(snap.rLow, snap.rUp);
+        EXPECT_LE(snap.queueDepth,
+                  static_cast<std::size_t>(snap.config.batchSize));
+        EXPECT_NE(snap.state, infless::cluster::InstanceState::Reaped);
+    }
+}
+
+TEST(PlatformTest, RateSeriesInjectionApproximatesRate)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectRateSeries(fn, constantRate(50.0, kTicksPerMin));
+    p.run(kTicksPerMin);
+    EXPECT_NEAR(static_cast<double>(p.totalMetrics().arrivals()), 3000.0,
+                300.0);
+}
+
+} // namespace

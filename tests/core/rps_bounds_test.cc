@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for Eq. 1 (per-instance rate bounds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rps_bounds.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using infless::core::execFeasible;
+using infless::core::rpsBounds;
+using infless::sim::msToTicks;
+
+TEST(RpsBoundsTest, PaperExample)
+{
+    // §3.2: SLO 200ms, t_exec 50ms, b=4 -> [28, 80] RPS.
+    auto bounds = rpsBounds(msToTicks(50), msToTicks(200), 4);
+    EXPECT_DOUBLE_EQ(bounds.up, 80.0);
+    EXPECT_DOUBLE_EQ(bounds.low, 28.0);
+    EXPECT_TRUE(bounds.valid());
+}
+
+TEST(RpsBoundsTest, BatchOneHasNoLowerBound)
+{
+    auto bounds = rpsBounds(msToTicks(150), msToTicks(200), 1);
+    EXPECT_DOUBLE_EQ(bounds.low, 0.0);
+    EXPECT_DOUBLE_EQ(bounds.up, 6.0); // floor(1/0.15) = 6
+}
+
+TEST(RpsBoundsTest, FeasibilityRules)
+{
+    // b=1: anything up to the SLO is feasible.
+    EXPECT_TRUE(execFeasible(msToTicks(200), msToTicks(200), 1));
+    EXPECT_FALSE(execFeasible(msToTicks(201), msToTicks(200), 1));
+    // b>1: t_exec must not exceed slo/2.
+    EXPECT_TRUE(execFeasible(msToTicks(100), msToTicks(200), 4));
+    EXPECT_FALSE(execFeasible(msToTicks(101), msToTicks(200), 4));
+}
+
+TEST(RpsBoundsTest, DegenerateInputsInfeasible)
+{
+    EXPECT_FALSE(execFeasible(0, msToTicks(200), 4));
+    EXPECT_FALSE(execFeasible(msToTicks(10), 0, 4));
+    EXPECT_FALSE(execFeasible(msToTicks(10), msToTicks(200), 0));
+}
+
+TEST(RpsBoundsTest, InfeasibleConfigPanics)
+{
+    EXPECT_THROW(rpsBounds(msToTicks(150), msToTicks(200), 4),
+                 infless::sim::PanicError);
+}
+
+TEST(RpsBoundsTest, UpperBoundScalesWithBatch)
+{
+    auto b4 = rpsBounds(msToTicks(50), msToTicks(200), 4);
+    auto b8 = rpsBounds(msToTicks(50), msToTicks(200), 8);
+    EXPECT_DOUBLE_EQ(b8.up, 2.0 * b4.up);
+}
+
+TEST(RpsBoundsTest, TightSlackRaisesLowerBound)
+{
+    // Same execution time; a tighter SLO leaves less batch-fill slack, so
+    // saturating the batch requires a higher arrival rate.
+    auto loose = rpsBounds(msToTicks(60), msToTicks(200), 4);
+    auto tight = rpsBounds(msToTicks(60), msToTicks(150), 4);
+    EXPECT_GT(tight.low, loose.low);
+}
+
+TEST(RpsBoundsTest, BoundaryExecHalfSlo)
+{
+    // t_exec == slo/2 exactly: r_low == r_up boundary case must hold
+    // low <= up.
+    auto bounds = rpsBounds(msToTicks(100), msToTicks(200), 8);
+    EXPECT_LE(bounds.low, bounds.up);
+    EXPECT_TRUE(bounds.valid());
+}
+
+TEST(RpsBoundsTest, SlowExecutionYieldsZeroUpperBound)
+{
+    // t_exec over a second: floor(1/t) = 0 -> up = 0, invalid for use.
+    auto bounds = rpsBounds(msToTicks(1500), msToTicks(3000), 2);
+    EXPECT_DOUBLE_EQ(bounds.up, 0.0);
+    EXPECT_FALSE(bounds.valid());
+}
+
+} // namespace

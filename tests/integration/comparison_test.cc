@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cross-system comparison tests: the qualitative orderings the paper's
+ * evaluation reports must hold in this reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/batch_otp.hh"
+#include "baselines/openfaas_plus.hh"
+#include "core/platform.hh"
+#include "models/model_zoo.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using infless::baselines::BatchOtp;
+using infless::baselines::OpenFaasPlus;
+using infless::cluster::kDefaultBeta;
+using infless::core::FunctionSpec;
+using infless::core::Platform;
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::msToTicks;
+using infless::workload::uniformArrivals;
+
+struct RunResult
+{
+    double throughputPerResource;
+    double sloViolationRate;
+    std::int64_t completions;
+};
+
+RunResult
+runScenario(Platform &p, double rps)
+{
+    FunctionSpec spec{"resnet", "ResNet-50", msToTicks(200), 32};
+    auto fn = p.deploy(spec);
+    p.injectTrace(fn, uniformArrivals(rps, 2 * kTicksPerMin));
+    p.run(2 * kTicksPerMin + 10 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    return RunResult{
+        m.throughputPerResource(p.endTime(), kDefaultBeta),
+        m.sloViolationRate(), m.completions()};
+}
+
+TEST(ComparisonTest, ThroughputOrderingInflessBatchOpenfaas)
+{
+    // Fig. 11/12: INFless > BATCH > OpenFaaS+ in throughput per
+    // occupied resource.
+    // High enough that BATCH's uniform instance quantization is filled;
+    // at light loads one-to-one instances can beat coarse batch fleets.
+    Platform infl(8);
+    BatchOtp batch(8);
+    OpenFaasPlus ofp(8);
+    auto r_infl = runScenario(infl, 480.0);
+    auto r_batch = runScenario(batch, 480.0);
+    auto r_ofp = runScenario(ofp, 480.0);
+
+    EXPECT_GT(r_infl.throughputPerResource, r_batch.throughputPerResource);
+    EXPECT_GT(r_batch.throughputPerResource, r_ofp.throughputPerResource);
+    // Rough factors: 2-5x over OpenFaaS+, <= that over BATCH.
+    EXPECT_GT(r_infl.throughputPerResource /
+                  r_ofp.throughputPerResource,
+              2.0);
+}
+
+TEST(ComparisonTest, InflessSloViolationIsLow)
+{
+    Platform infl(8);
+    auto r = runScenario(infl, 100.0);
+    // Fig. 15a: <= ~3% violations on steady load (ramp-up included here).
+    EXPECT_LT(r.sloViolationRate, 0.08);
+    EXPECT_GT(r.completions, 10'000);
+}
+
+TEST(ComparisonTest, InflessUsesNonUniformConfigs)
+{
+    // Fig. 13: INFless spreads over multiple (b, c, g) configurations
+    // while BATCH uses a handful.
+    Platform infl(8);
+    BatchOtp batch(8);
+    auto deploy_and_run = [](Platform &p) {
+        FunctionSpec spec{"resnet", "ResNet-50", msToTicks(200), 32};
+        auto fn = p.deploy(spec);
+        // Ramp through several load levels to exercise adaptation.
+        p.injectTrace(fn, uniformArrivals(10.0, 30 * kTicksPerSec));
+        p.run(30 * kTicksPerSec);
+        p.injectTrace(fn, uniformArrivals(150.0, 30 * kTicksPerSec));
+        p.run(60 * kTicksPerSec);
+        return p.configUsage(fn).size();
+    };
+    EXPECT_GE(deploy_and_run(infl), deploy_and_run(batch));
+}
+
+TEST(ComparisonTest, RelaxedSloImprovesInflessThroughput)
+{
+    // Fig. 12b / 18b: larger SLOs allow larger batches and leaner
+    // resources per instance.
+    auto tpr = [](infless::sim::Tick slo) {
+        Platform p(8);
+        FunctionSpec spec{"resnet", "ResNet-50", slo, 32};
+        auto fn = p.deploy(spec);
+        p.injectTrace(fn, uniformArrivals(120.0, 2 * kTicksPerMin));
+        p.run(2 * kTicksPerMin + 5 * kTicksPerSec);
+        return p.totalMetrics().throughputPerResource(p.endTime(),
+                                                      kDefaultBeta);
+    };
+    EXPECT_GT(tpr(msToTicks(350)), tpr(msToTicks(150)) * 0.95);
+}
+
+TEST(ComparisonTest, BatchingAblationLosesThroughput)
+{
+    // Fig. 11: disabling built-in batching (all batchsizes = 1) hurts.
+    auto tpr = [](int max_batch) {
+        Platform p(8);
+        FunctionSpec spec{"resnet", "ResNet-50", msToTicks(200),
+                          max_batch};
+        auto fn = p.deploy(spec);
+        p.injectTrace(fn, uniformArrivals(120.0, 2 * kTicksPerMin));
+        p.run(2 * kTicksPerMin + 5 * kTicksPerSec);
+        return p.totalMetrics().throughputPerResource(p.endTime(),
+                                                      kDefaultBeta);
+    };
+    EXPECT_GT(tpr(32), tpr(1) * 1.2);
+}
+
+TEST(ComparisonTest, PredictionOffsetAblationLosesThroughput)
+{
+    // Fig. 11: OP2 (100% offset) wastes capacity versus the 10% default.
+    auto tpr = [](double offset) {
+        infless::core::PlatformOptions opts;
+        opts.cop.safetyOffset = offset;
+        Platform p(8, opts);
+        FunctionSpec spec{"resnet", "ResNet-50", msToTicks(200), 32};
+        auto fn = p.deploy(spec);
+        p.injectTrace(fn, uniformArrivals(120.0, 2 * kTicksPerMin));
+        p.run(2 * kTicksPerMin + 5 * kTicksPerSec);
+        return p.totalMetrics().throughputPerResource(p.endTime(),
+                                                      kDefaultBeta);
+    };
+    EXPECT_GT(tpr(0.10), tpr(1.0));
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Integration tests: full OSVT / Q&A application scenarios on the
+ * INFless platform, driven by synthetic Azure-style traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/batch_otp.hh"
+#include "core/platform.hh"
+#include "models/model_zoo.hh"
+#include "workload/azure_synth.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using infless::core::FunctionSpec;
+using infless::core::Platform;
+using infless::models::ModelZoo;
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::msToTicks;
+using infless::sim::Tick;
+using infless::workload::ArrivalTrace;
+using infless::workload::synthesizeTrace;
+using infless::workload::TracePattern;
+using infless::workload::uniformArrivals;
+
+/** Deploy an application bundle with a shared SLO and constant load. */
+void
+deployBundle(Platform &p, const std::vector<std::string> &models, Tick slo,
+             double rps_each, Tick duration)
+{
+    for (const auto &name : models) {
+        FunctionSpec spec{name + "-fn", name, slo, 32};
+        auto fn = p.deploy(spec);
+        p.injectTrace(fn, uniformArrivals(rps_each, duration));
+    }
+}
+
+TEST(EndToEndTest, OsvtScenarioMeetsSlo)
+{
+    Platform p(8);
+    deployBundle(p, ModelZoo::osvtModels(), msToTicks(200), 40.0,
+                 2 * kTicksPerMin);
+    p.run(2 * kTicksPerMin + 10 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.completions(), 10'000);
+    EXPECT_LT(m.sloViolationRate(), 0.08);
+}
+
+TEST(EndToEndTest, QaRobotScenarioMeetsTightSlo)
+{
+    Platform p(8);
+    deployBundle(p, ModelZoo::qaRobotModels(), msToTicks(50), 60.0,
+                 2 * kTicksPerMin);
+    p.run(2 * kTicksPerMin + 10 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.completions(), 15'000);
+    EXPECT_LT(m.sloViolationRate(), 0.08);
+}
+
+TEST(EndToEndTest, MixedApplicationsShareTheCluster)
+{
+    Platform p(8);
+    deployBundle(p, ModelZoo::osvtModels(), msToTicks(200), 25.0,
+                 kTicksPerMin);
+    deployBundle(p, ModelZoo::qaRobotModels(), msToTicks(50), 40.0,
+                 kTicksPerMin);
+    p.run(kTicksPerMin + 10 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(p.functionCount(), 6u);
+    EXPECT_GT(m.completions(), 0);
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+    EXPECT_LT(m.sloViolationRate(), 0.10);
+}
+
+TEST(EndToEndTest, BurstyTraceIsAbsorbed)
+{
+    Platform p(8);
+    FunctionSpec spec{"resnet", "ResNet-50", msToTicks(200), 32};
+    auto fn = p.deploy(spec);
+    auto series = synthesizeTrace(TracePattern::Bursty, 40.0, 0.02, 3)
+                      .truncated(25 * kTicksPerMin);
+    p.injectRateSeries(fn, series);
+    p.run(30 * kTicksPerMin);
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.completions(), 0);
+    // Bursts cost some violations but the bulk completes in time.
+    EXPECT_LT(m.sloViolationRate(), 0.15);
+}
+
+TEST(EndToEndTest, SporadicTraceCausesColdStartsButRecovers)
+{
+    Platform p(8);
+    FunctionSpec spec{"textcnn", "TextCNN-69", msToTicks(50), 32};
+    auto fn = p.deploy(spec);
+    auto series = synthesizeTrace(TracePattern::Sporadic, 2.0, 0.05, 7)
+                      .truncated(60 * kTicksPerMin);
+    p.injectRateSeries(fn, series);
+    p.run(70 * kTicksPerMin);
+    const auto &m = p.totalMetrics();
+    if (m.arrivals() > 0) {
+        EXPECT_GT(m.completions() + m.drops(), 0);
+        EXPECT_GT(m.coldLaunches(), 0);
+    }
+}
+
+TEST(EndToEndTest, InflessPacksServersWhenDemandFillsCluster)
+{
+    // Fig. 17b's premise: when aggregate demand approaches cluster
+    // capacity, best-fit e_ij placement concentrates instances so active
+    // servers stay well utilized. (Cross-system fragment comparisons
+    // need the large-scale simulation; see bench_fig17_scale. At light
+    // load the active-server fragment metric penalizes right-sizing, so
+    // this test sizes demand to the cluster.)
+    Platform p(2);
+    deployBundle(p, ModelZoo::osvtModels(), msToTicks(200), 700.0,
+                 3 * kTicksPerMin);
+    p.run(3 * kTicksPerMin);
+    // Steady-state (end-of-run) fragment ratio over active servers. At
+    // this scale a couple of right-sized fleets cannot fill testbed
+    // machines, so the bound is loose; the ~15% figure needs the
+    // 2,000-server simulation's fine-grained mosaic.
+    EXPECT_LT(p.cluster().fragmentRatio(), 0.85);
+    // And the cluster really is loaded with accelerator work.
+    EXPECT_GT(p.cluster().totalAllocated().gpuSmPercent, 60);
+}
+
+} // namespace

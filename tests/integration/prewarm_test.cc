@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Integration test of the pre-warming path: once LSTH has learned a
+ * function's regular idle gap, the platform unloads the instance after
+ * the keep-alive window and pre-warms a fresh one shortly before the
+ * next expected invocation — so steady-state invocations find a warm
+ * instance without keeping one alive the whole time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+#include "core/platform.hh"
+#include "workload/trace.hh"
+
+namespace {
+
+using infless::core::FunctionSpec;
+using infless::core::Platform;
+using infless::sim::kTicksPerMin;
+using infless::sim::msToTicks;
+using infless::sim::Tick;
+
+/** One invocation exactly every five minutes. */
+infless::workload::ArrivalTrace
+fiveMinutePulses(int count)
+{
+    std::vector<Tick> arrivals;
+    for (int i = 1; i <= count; ++i)
+        arrivals.push_back(static_cast<Tick>(i) * 5 * kTicksPerMin);
+    return infless::workload::ArrivalTrace(std::move(arrivals));
+}
+
+TEST(PrewarmTest, LsthPrewarmsAheadOfPeriodicInvocations)
+{
+    Platform p(2);
+    auto fn = p.deploy(FunctionSpec{"fn", "MobileNet", msToTicks(200), 32});
+    p.injectTrace(fn, fiveMinutePulses(24));
+    p.run(24 * 5 * kTicksPerMin + kTicksPerMin);
+
+    const auto &m = p.functionMetrics(fn);
+    EXPECT_EQ(m.completions(), 24);
+    // After the histogram matures (minSamples gaps), launches come from
+    // the pre-warming path, which is warm by construction.
+    EXPECT_GT(m.warmLaunches(), 3);
+    // Early launches were cold (nothing learned yet).
+    EXPECT_GE(m.coldLaunches(), 1);
+}
+
+TEST(PrewarmTest, InstanceUnloadsBetweenPulsesAndReturnsBeforeTheNext)
+{
+    Platform p(2);
+    auto fn = p.deploy(FunctionSpec{"fn", "MobileNet", msToTicks(200), 32});
+    p.injectTrace(fn, fiveMinutePulses(24));
+
+    // Let the histogram mature: 15 pulses in.
+    Tick base = 15 * 5 * kTicksPerMin;
+    p.run(base + kTicksPerMin);
+
+    // Mid-gap the function should be fully unloaded (keep-alive for a
+    // 5-minute learned gap ends well before minute 4)...
+    p.run(base + 4 * kTicksPerMin);
+    EXPECT_EQ(p.liveInstanceCount(fn), 0);
+
+    // ...and pre-warmed again just before the next pulse at minute 5.
+    p.run(base + 5 * kTicksPerMin - msToTicks(500));
+    EXPECT_EQ(p.liveInstanceCount(fn), 1);
+    auto snapshots = p.instanceSnapshots(fn);
+    ASSERT_EQ(snapshots.size(), 1u);
+    EXPECT_FALSE(snapshots[0].draining);
+}
+
+TEST(PrewarmTest, SteadyStatePulsesAvoidColdLatency)
+{
+    Platform p(2);
+    auto fn = p.deploy(FunctionSpec{"fn", "MobileNet", msToTicks(200), 32});
+    p.injectTrace(fn, fiveMinutePulses(24));
+    p.run(24 * 5 * kTicksPerMin + kTicksPerMin);
+
+    const auto &m = p.functionMetrics(fn);
+    // The p50 completion paid no cold start: the early cold pulses are a
+    // minority once pre-warming engages.
+    EXPECT_LT(m.coldTime().percentile(50), msToTicks(5));
+    EXPECT_LT(m.sloViolationRate(), 0.5);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the Table 4 cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/resources.hh"
+#include "metrics/collector.hh"
+#include "metrics/cost_model.hh"
+
+namespace {
+
+using infless::cluster::Resources;
+using infless::metrics::computeCost;
+using infless::metrics::costFromAverages;
+using infless::metrics::LatencyBreakdown;
+using infless::metrics::PriceSheet;
+using infless::metrics::RunMetrics;
+using infless::sim::kTicksPerSec;
+
+TEST(CostModelTest, ResourcesPer100Rps)
+{
+    auto report = costFromAverages("x", 50.0, 2.0, 100.0);
+    EXPECT_DOUBLE_EQ(report.cpusPer100Rps, 50.0);
+    EXPECT_DOUBLE_EQ(report.gpusPer100Rps, 2.0);
+}
+
+TEST(CostModelTest, CostPerRequestUsesPriceSheet)
+{
+    PriceSheet prices;
+    prices.cpuPerCoreHour = 3600.0; // $1 per core-second for easy math
+    prices.gpuPerHour = 0.0;
+    auto report = costFromAverages("x", 10.0, 0.0, 100.0, prices);
+    // $10/second over 100 requests/second -> $0.1 per request.
+    EXPECT_NEAR(report.costPerRequest, 0.1, 1e-12);
+}
+
+TEST(CostModelTest, ZeroRpsYieldsZeroes)
+{
+    auto report = costFromAverages("x", 10.0, 1.0, 0.0);
+    EXPECT_DOUBLE_EQ(report.costPerRequest, 0.0);
+    EXPECT_DOUBLE_EQ(report.cpusPer100Rps, 0.0);
+}
+
+TEST(CostModelTest, ComputeCostFromRunMetrics)
+{
+    RunMetrics m;
+    m.recordAllocation(0, Resources{4000, 100, 0});
+    LatencyBreakdown parts{0, 1, 1};
+    for (int i = 0; i < 1000; ++i)
+        m.recordCompletion(i, parts, 0);
+    auto report = computeCost("sys", m, 10 * kTicksPerSec);
+    EXPECT_EQ(report.system, "sys");
+    // 4 cores and 1 GPU serving 100 RPS.
+    EXPECT_NEAR(report.cpusPer100Rps, 4.0, 1e-9);
+    EXPECT_NEAR(report.gpusPer100Rps, 1.0, 1e-9);
+    EXPECT_GT(report.costPerRequest, 0.0);
+}
+
+TEST(CostModelTest, DefaultPricesMatchPaper)
+{
+    PriceSheet prices;
+    EXPECT_DOUBLE_EQ(prices.cpuPerCoreHour, 0.034);
+    EXPECT_DOUBLE_EQ(prices.gpuPerHour, 2.5);
+}
+
+TEST(CostModelTest, GpuHeavySystemCostsMoreThanGpuLight)
+{
+    auto heavy = costFromAverages("heavy", 10.0, 5.0, 100.0);
+    auto light = costFromAverages("light", 10.0, 0.5, 100.0);
+    EXPECT_GT(heavy.costPerRequest, light.costPerRequest);
+}
+
+} // namespace

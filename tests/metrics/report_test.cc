@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the report formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/report.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using infless::metrics::fmt;
+using infless::metrics::fmtPercent;
+using infless::metrics::fmtSci;
+using infless::metrics::printHeading;
+using infless::metrics::TextTable;
+
+TEST(ReportTest, FmtFixedPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(ReportTest, FmtSci)
+{
+    EXPECT_EQ(fmtSci(1234.5, 2), "1.23e+03");
+    EXPECT_EQ(fmtSci(0.00016, 1), "1.6e-04");
+}
+
+TEST(ReportTest, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.031), "3.1%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(ReportTest, TableAlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, RowArityMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), infless::sim::PanicError);
+}
+
+TEST(ReportTest, EmptyHeaderRejected)
+{
+    EXPECT_THROW(TextTable({}), infless::sim::PanicError);
+}
+
+TEST(ReportTest, HeadingFormat)
+{
+    std::ostringstream os;
+    printHeading(os, "Figure 12(a)");
+    EXPECT_EQ(os.str(), "\n== Figure 12(a) ==\n");
+}
+
+TEST(ReportTest, RowCount)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "metrics/stats.hh"
+
+namespace {
+
+using infless::metrics::LatencyHistogram;
+using infless::metrics::TimeWeightedMean;
+using infless::sim::kTicksPerMs;
+using infless::sim::kTicksPerSec;
+using infless::sim::Tick;
+
+TEST(LatencyHistogramTest, EmptyReportsZeroes)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.percentile(50), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LatencyHistogramTest, MeanMinMaxExact)
+{
+    LatencyHistogram h;
+    h.record(10 * kTicksPerMs);
+    h.record(20 * kTicksPerMs);
+    h.record(30 * kTicksPerMs);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0 * kTicksPerMs);
+    EXPECT_EQ(h.min(), 10 * kTicksPerMs);
+    EXPECT_EQ(h.max(), 30 * kTicksPerMs);
+}
+
+TEST(LatencyHistogramTest, PercentileWithinRelativeError)
+{
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.record(i * kTicksPerMs);
+    // p50 should be near 500ms with ~10% bucket error.
+    auto p50 = static_cast<double>(h.percentile(50));
+    EXPECT_NEAR(p50 / (500.0 * kTicksPerMs), 1.0, 0.12);
+    auto p99 = static_cast<double>(h.percentile(99));
+    EXPECT_NEAR(p99 / (990.0 * kTicksPerMs), 1.0, 0.12);
+}
+
+TEST(LatencyHistogramTest, PercentileBoundedByObservedMax)
+{
+    LatencyHistogram h;
+    h.record(123);
+    EXPECT_LE(h.percentile(100), 123);
+}
+
+TEST(LatencyHistogramTest, FractionAboveThreshold)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 90; ++i)
+        h.record(10 * kTicksPerMs);
+    for (int i = 0; i < 10; ++i)
+        h.record(1000 * kTicksPerMs);
+    double above = h.fractionAbove(100 * kTicksPerMs);
+    EXPECT_NEAR(above, 0.10, 0.02);
+}
+
+TEST(LatencyHistogramTest, NegativeSamplesClampToZero)
+{
+    LatencyHistogram h;
+    h.record(-50);
+    EXPECT_EQ(h.count(), 1);
+    EXPECT_EQ(h.min(), 0);
+}
+
+TEST(LatencyHistogramTest, OversizedSamplesClampToMax)
+{
+    LatencyHistogram h(1.1, kTicksPerSec);
+    h.record(100 * kTicksPerSec);
+    EXPECT_LE(h.max(), kTicksPerSec);
+}
+
+TEST(LatencyHistogramTest, MergeCombinesCounts)
+{
+    LatencyHistogram a, b;
+    a.record(10 * kTicksPerMs);
+    b.record(30 * kTicksPerMs);
+    b.record(50 * kTicksPerMs);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3);
+    EXPECT_EQ(a.min(), 10 * kTicksPerMs);
+    EXPECT_EQ(a.max(), 50 * kTicksPerMs);
+    EXPECT_DOUBLE_EQ(a.mean(), 30.0 * kTicksPerMs);
+}
+
+TEST(LatencyHistogramTest, BadGrowthRejected)
+{
+    EXPECT_THROW(LatencyHistogram(1.0), infless::sim::PanicError);
+}
+
+TEST(TimeWeightedMeanTest, ConstantSignal)
+{
+    TimeWeightedMean m;
+    m.update(0, 5.0);
+    EXPECT_DOUBLE_EQ(m.meanUntil(100), 5.0);
+}
+
+TEST(TimeWeightedMeanTest, StepSignal)
+{
+    TimeWeightedMean m;
+    m.update(0, 0.0);
+    m.update(50, 10.0);
+    // 50 ticks at 0, 50 ticks at 10 -> mean 5.
+    EXPECT_DOUBLE_EQ(m.meanUntil(100), 5.0);
+}
+
+TEST(TimeWeightedMeanTest, IntegralIncludesRunningSegment)
+{
+    TimeWeightedMean m;
+    m.update(0, 2.0);
+    m.update(10, 4.0);
+    EXPECT_DOUBLE_EQ(m.integralUntil(10), 20.0);
+    EXPECT_DOUBLE_EQ(m.integralUntil(20), 20.0 + 40.0);
+}
+
+TEST(TimeWeightedMeanTest, BeforeFirstUpdateIsZero)
+{
+    TimeWeightedMean m;
+    EXPECT_DOUBLE_EQ(m.meanUntil(100), 0.0);
+    EXPECT_DOUBLE_EQ(m.integralUntil(100), 0.0);
+}
+
+TEST(TimeWeightedMeanTest, LateStartExcludesEarlyWindow)
+{
+    TimeWeightedMean m;
+    m.update(100, 10.0);
+    // Mean is over [100, 200], not [0, 200].
+    EXPECT_DOUBLE_EQ(m.meanUntil(200), 10.0);
+}
+
+TEST(TimeWeightedMeanTest, TimeGoingBackwardsPanics)
+{
+    TimeWeightedMean m;
+    m.update(100, 1.0);
+    EXPECT_THROW(m.update(50, 2.0), infless::sim::PanicError);
+}
+
+TEST(TimeWeightedMeanTest, CurrentReflectsLastValue)
+{
+    TimeWeightedMean m;
+    m.update(0, 1.0);
+    m.update(10, 7.5);
+    EXPECT_DOUBLE_EQ(m.current(), 7.5);
+}
+
+} // namespace

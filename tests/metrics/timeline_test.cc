@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the timeline sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+#include "metrics/timeline.hh"
+
+namespace {
+
+using infless::metrics::TimelineSampler;
+using infless::sim::kTicksPerSec;
+using infless::sim::Simulation;
+
+TEST(TimelineTest, SamplesOnThePeriod)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    int counter = 0;
+    sampler.track("counter", [&] { return static_cast<double>(counter); });
+    sim.every(kTicksPerSec / 2, [&] { ++counter; }, 10 * kTicksPerSec);
+    sim.runUntil(5 * kTicksPerSec);
+
+    ASSERT_EQ(sampler.sampleCount(), 5u);
+    EXPECT_EQ(sampler.times().front(), kTicksPerSec);
+    // Same-tick ordering is insertion order: the sampler's t=1s event was
+    // scheduled before the incrementer's, so it sees only the 0.5s tick.
+    EXPECT_DOUBLE_EQ(sampler.series("counter")[0], 1.0);
+    EXPECT_DOUBLE_EQ(sampler.series("counter")[4], 9.0);
+}
+
+TEST(TimelineTest, MultipleSeriesShareTimestamps)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    sampler.track("a", [] { return 1.0; });
+    sampler.track("b", [] { return 2.0; });
+    sim.runUntil(3 * kTicksPerSec);
+    EXPECT_EQ(sampler.series("a").size(), sampler.times().size());
+    EXPECT_EQ(sampler.series("b").size(), sampler.times().size());
+    EXPECT_EQ(sampler.names(),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TimelineTest, StopEndsSampling)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    sampler.track("x", [] { return 0.0; });
+    sim.runUntil(2 * kTicksPerSec);
+    sampler.stop();
+    sim.runUntil(10 * kTicksPerSec);
+    EXPECT_EQ(sampler.sampleCount(), 2u);
+}
+
+TEST(TimelineTest, CsvOutput)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    double v = 0.0;
+    sampler.track("value", [&] { return v += 0.5; });
+    sim.runUntil(2 * kTicksPerSec);
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    EXPECT_EQ(os.str(), "time_sec,value\n1,0.5\n2,1\n");
+}
+
+TEST(TimelineTest, UnknownSeriesPanics)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    EXPECT_THROW(sampler.series("nope"), infless::sim::PanicError);
+}
+
+TEST(TimelineTest, DuplicateSeriesPanics)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    sampler.track("x", [] { return 0.0; });
+    EXPECT_THROW(sampler.track("x", [] { return 0.0; }),
+                 infless::sim::PanicError);
+}
+
+TEST(TimelineTest, TrackAfterSamplingPanics)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    sampler.track("x", [] { return 0.0; });
+    sim.runUntil(kTicksPerSec);
+    EXPECT_THROW(sampler.track("late", [] { return 0.0; }),
+                 infless::sim::PanicError);
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the operator taxonomy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "models/operator.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using infless::models::kNumOpKinds;
+using infless::models::OpKind;
+using infless::models::opKindFromName;
+using infless::models::opName;
+using infless::models::opTraits;
+using infless::sim::PanicError;
+
+TEST(OperatorTest, EveryKindHasConsistentTraits)
+{
+    for (int i = 0; i < kNumOpKinds; ++i) {
+        auto kind = static_cast<OpKind>(i);
+        const auto &t = opTraits(kind);
+        EXPECT_NE(t.name, nullptr);
+        EXPECT_GE(t.cpuParallelFraction, 0.0);
+        EXPECT_LE(t.cpuParallelFraction, 1.0);
+        EXPECT_GE(t.gpuEfficiency, 0.0);
+        EXPECT_LE(t.gpuEfficiency, 1.0);
+        EXPECT_GE(t.cpuOverhead, 0);
+        EXPECT_GE(t.gpuOverhead, 0);
+    }
+}
+
+TEST(OperatorTest, NamesRoundTrip)
+{
+    for (int i = 0; i < kNumOpKinds; ++i) {
+        auto kind = static_cast<OpKind>(i);
+        EXPECT_EQ(opKindFromName(opName(kind)), kind);
+    }
+}
+
+TEST(OperatorTest, UnknownNamePanics)
+{
+    EXPECT_THROW(opKindFromName("NotAnOp"), PanicError);
+}
+
+TEST(OperatorTest, DenseMathIsGpuFriendly)
+{
+    // The dominant operators of Fig. 7 map efficiently to GPUs...
+    EXPECT_GT(opTraits(OpKind::Conv2D).gpuEfficiency, 0.8);
+    EXPECT_GT(opTraits(OpKind::MatMul).gpuEfficiency, 0.8);
+    // ...while glue operators do not, and embeddings stay on CPU.
+    EXPECT_LT(opTraits(OpKind::ConcatV2).gpuEfficiency, 0.5);
+    EXPECT_EQ(opTraits(OpKind::Embedding).gpuEfficiency, 0.0);
+}
+
+TEST(OperatorTest, DenseMathParallelizesOnCpu)
+{
+    EXPECT_GT(opTraits(OpKind::Conv2D).cpuParallelFraction, 0.9);
+    EXPECT_LT(opTraits(OpKind::Reshape).cpuParallelFraction, 0.5);
+}
+
+TEST(OperatorTest, NamesMatchTensorFlowConvention)
+{
+    EXPECT_STREQ(opName(OpKind::MatMul), "MatMul");
+    EXPECT_STREQ(opName(OpKind::FusedMatMul), "FusedMatMul");
+    EXPECT_STREQ(opName(OpKind::Conv2D), "Conv2D");
+    EXPECT_STREQ(opName(OpKind::ConcatV2), "ConcatV2");
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the COP predictor — including the Fig. 8 accuracy property:
+ * average prediction error under 10% across batch/resource configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/resources.hh"
+#include "models/exec_model.hh"
+#include "models/model_zoo.hh"
+#include "profiler/cop.hh"
+#include "profiler/op_profile_db.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using infless::cluster::Resources;
+using infless::models::ExecModel;
+using infless::models::ModelZoo;
+using infless::profiler::CopOptions;
+using infless::profiler::CopPredictor;
+using infless::profiler::OpProfileDb;
+
+struct CopFixture : ::testing::Test
+{
+    ExecModel exec;
+    OpProfileDb db{exec};
+    CopPredictor cop{db};
+};
+
+TEST_F(CopFixture, PredictionIsPositiveForEveryModel)
+{
+    for (const auto &info : ModelZoo::shared().all()) {
+        EXPECT_GT(cop.predict(info, 1, Resources{1000, 0, 0}), 0)
+            << info.name;
+    }
+}
+
+TEST_F(CopFixture, SafetyOffsetInflatesPrediction)
+{
+    const auto &resnet = ModelZoo::shared().get("ResNet-50");
+    Resources res{2000, 10, 0};
+    double raw = cop.rawMicros(resnet, 4, res);
+    double predicted = static_cast<double>(cop.predict(resnet, 4, res));
+    EXPECT_NEAR(predicted / raw, 1.10, 0.001);
+}
+
+TEST_F(CopFixture, AblationOffsetsApply)
+{
+    const auto &resnet = ModelZoo::shared().get("ResNet-50");
+    Resources res{2000, 10, 0};
+    OpProfileDb db15(exec), db2(exec);
+    CopPredictor op15(db15, CopOptions{0.5});
+    CopPredictor op2(db2, CopOptions{1.0});
+    double raw = cop.rawMicros(resnet, 4, res);
+    EXPECT_NEAR(static_cast<double>(op15.predict(resnet, 4, res)) / raw,
+                1.5, 0.01);
+    EXPECT_NEAR(static_cast<double>(op2.predict(resnet, 4, res)) / raw,
+                2.0, 0.01);
+}
+
+TEST_F(CopFixture, PredictionsAreMemoizedConsistently)
+{
+    const auto &bert = ModelZoo::shared().get("Bert-v1");
+    Resources res{2000, 20, 0};
+    auto first = cop.predict(bert, 8, res);
+    auto second = cop.predict(bert, 8, res);
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(CopFixture, MeanPredictionErrorUnderTenPercent)
+{
+    // Fig. 8: the operator-combination model achieves <10% average error
+    // for ResNet-50, MobileNet and LSTM-2365.
+    for (const char *name : {"ResNet-50", "MobileNet", "LSTM-2365"}) {
+        const auto &info = ModelZoo::shared().get(name);
+        double total = 0.0;
+        int configs = 0;
+        for (int b : {1, 2, 4, 8, 16, 32}) {
+            for (std::int64_t cpu : {1000, 2000, 4000}) {
+                for (std::int64_t gpu : {0, 10, 20, 30}) {
+                    Resources res{cpu, gpu, 0};
+                    total += cop.predictionError(exec, info, b, res);
+                    ++configs;
+                }
+            }
+        }
+        double mean = total / configs;
+        EXPECT_LT(mean, 0.10) << name;
+        EXPECT_GT(mean, 0.01) << name << " (suspiciously perfect)";
+    }
+}
+
+TEST_F(CopFixture, LstmErrsMoreThanChainModels)
+{
+    // Fig. 8's ordering: branchy LSTM-2365 has the highest error.
+    auto mean_error = [&](const std::string &name) {
+        const auto &info = ModelZoo::shared().get(name);
+        double total = 0.0;
+        int configs = 0;
+        for (int b : {1, 2, 4, 8, 16, 32}) {
+            for (std::int64_t gpu : {0, 10, 20, 30}) {
+                total += cop.predictionError(exec, info, b,
+                                             Resources{2000, gpu, 0});
+                ++configs;
+            }
+        }
+        return total / configs;
+    };
+    double lstm = mean_error("LSTM-2365");
+    EXPECT_GT(lstm, mean_error("MobileNet"));
+    EXPECT_GT(lstm, mean_error("VGGNet"));
+}
+
+TEST_F(CopFixture, PredictionTracksResourceOrdering)
+{
+    // More resources -> lower predicted latency (weak monotonicity).
+    const auto &resnet = ModelZoo::shared().get("ResNet-50");
+    auto weak = cop.predict(resnet, 4, Resources{1000, 5, 0});
+    auto strong = cop.predict(resnet, 4, Resources{4000, 50, 0});
+    EXPECT_GT(weak, strong);
+}
+
+TEST_F(CopFixture, NegativeOffsetRejected)
+{
+    OpProfileDb db2(exec);
+    EXPECT_THROW(CopPredictor(db2, CopOptions{-0.1}),
+                 infless::sim::PanicError);
+}
+
+} // namespace

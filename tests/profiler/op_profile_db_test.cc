@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the operator profile database.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/resources.hh"
+#include "models/exec_model.hh"
+#include "models/operator.hh"
+#include "profiler/op_profile_db.hh"
+
+namespace {
+
+using infless::cluster::Resources;
+using infless::models::ExecModel;
+using infless::models::OpKind;
+using infless::models::OpNode;
+using infless::profiler::OpProfileDb;
+
+TEST(OpProfileDbTest, SnapResourcesPicksNearestGridPoint)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    Resources snapped = db.snapResources(Resources{1100, 12, 512});
+    EXPECT_EQ(snapped.cpuMillicores, 1000);
+    EXPECT_EQ(snapped.gpuSmPercent, 10);
+}
+
+TEST(OpProfileDbTest, ZeroGpuStaysZero)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    // A CPU-only request must never snap onto a GPU profile.
+    EXPECT_EQ(db.snapResources(Resources{1000, 0, 0}).gpuSmPercent, 0);
+}
+
+TEST(OpProfileDbTest, SnapBatchPicksNearest)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    EXPECT_EQ(db.snapBatch(1), 1);
+    EXPECT_EQ(db.snapBatch(3), 2); // |3-2| < |3-4|
+    EXPECT_EQ(db.snapBatch(6), 4); // |6-4| < |6-8| -> nearest-lower wins tie-free
+    EXPECT_EQ(db.snapBatch(100), 64);
+}
+
+TEST(OpProfileDbTest, OnGridLookupMatchesTruthClosely)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    OpNode op{OpKind::Conv2D, 1.0};
+    Resources res{2000, 10, 0};
+    double measured = db.lookupMicros(op, 4, res);
+    double truth = exec.opMicros(op, 4, res);
+    // Only the gflops-bucket interpolation separates them.
+    EXPECT_NEAR(measured / truth, 1.0, 0.12);
+}
+
+TEST(OpProfileDbTest, LookupsAreMemoized)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    OpNode op{OpKind::MatMul, 0.5};
+    Resources res{1000, 0, 0};
+    db.lookupMicros(op, 1, res);
+    std::size_t after_first = db.size();
+    db.lookupMicros(op, 1, res);
+    EXPECT_EQ(db.size(), after_first);
+    // A different batch is a new profile.
+    db.lookupMicros(op, 8, res);
+    EXPECT_GT(db.size(), after_first);
+}
+
+TEST(OpProfileDbTest, NearbyWorkSharesABucket)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    Resources res{1000, 0, 0};
+    db.lookupMicros(OpNode{OpKind::MatMul, 0.500}, 1, res);
+    std::size_t n = db.size();
+    // 3% away: same quarter-octave bucket, no new measurement.
+    db.lookupMicros(OpNode{OpKind::MatMul, 0.515}, 1, res);
+    EXPECT_EQ(db.size(), n);
+}
+
+TEST(OpProfileDbTest, InterpolationScalesWithWork)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    Resources res{1000, 0, 0};
+    double t1 = db.lookupMicros(OpNode{OpKind::MatMul, 0.500}, 1, res);
+    double t2 = db.lookupMicros(OpNode{OpKind::MatMul, 0.515}, 1, res);
+    EXPECT_NEAR(t2 / t1, 0.515 / 0.500, 1e-9);
+}
+
+TEST(OpProfileDbTest, ZeroWorkOpsReturnOverheadOnly)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    OpNode op{OpKind::Identity, 0.0};
+    double t = db.lookupMicros(op, 1, Resources{1000, 0, 0});
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 10.0); // just the dispatch overhead, microseconds
+}
+
+TEST(OpProfileDbTest, TruthAccessorExposesExecModel)
+{
+    ExecModel exec;
+    OpProfileDb db(exec);
+    EXPECT_EQ(&db.truth(), &exec);
+}
+
+} // namespace

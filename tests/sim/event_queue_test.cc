@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using infless::sim::EventQueue;
+using infless::sim::PanicError;
+using infless::sim::Tick;
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.runNext());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); }, 0);
+    q.schedule(5, [&] { order.push_back(2); }, 0);
+    q.schedule(5, [&] { order.push_back(0); }, -1);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime)
+{
+    EventQueue q;
+    Tick seen = -1;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.runAll();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runAll();
+    EXPECT_THROW(q.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterExecutionReturnsFalse)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelledEventsDoNotCountAsPending)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(id);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    for (Tick t : {5, 10, 15, 20})
+        q.schedule(t, [&, t] { fired.push_back(t); });
+    EXPECT_EQ(q.runUntil(15), 3u);
+    EXPECT_EQ(fired, (std::vector<Tick>{5, 10, 15}));
+    EXPECT_EQ(q.now(), 15);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockEvenWithoutEvents)
+{
+    EventQueue q;
+    EXPECT_EQ(q.runUntil(500), 0u);
+    EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            q.schedule(q.now() + 10, chain);
+    };
+    q.schedule(10, chain);
+    q.runAll();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueueTest, EventCanCancelLaterEvent)
+{
+    EventQueue q;
+    bool second_ran = false;
+    auto second = q.schedule(20, [&] { second_ran = true; });
+    q.schedule(10, [&] { q.cancel(second); });
+    q.runAll();
+    EXPECT_FALSE(second_ran);
+}
+
+TEST(EventQueueTest, ExecutedCountsLifetimeEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i, [] {});
+    q.runAll();
+    EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueueTest, RunAllPanicsOnRunawaySelfRescheduling)
+{
+    EventQueue q;
+    std::function<void()> forever = [&] {
+        q.schedule(q.now() + 1, forever);
+    };
+    q.schedule(0, forever);
+    EXPECT_THROW(q.runAll(1000), PanicError);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    Tick last = -1;
+    bool monotonic = true;
+    for (int i = 0; i < 10'000; ++i) {
+        Tick when = (i * 7919) % 1000; // pseudo-shuffled times
+        q.schedule(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    q.runAll();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace

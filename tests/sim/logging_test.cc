@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the panic/fatal helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace {
+
+using infless::sim::fatal;
+using infless::sim::FatalError;
+using infless::sim::panic;
+using infless::sim::PanicError;
+using infless::sim::simAssert;
+
+TEST(LoggingTest, PanicThrowsWithMessage)
+{
+    try {
+        panic("bad thing ", 42);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: bad thing 42");
+    }
+}
+
+TEST(LoggingTest, FatalThrowsWithMessage)
+{
+    try {
+        fatal("user error: ", "missing model");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: user error: missing model");
+    }
+}
+
+TEST(LoggingTest, SimAssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(simAssert(true, "never shown"));
+}
+
+TEST(LoggingTest, SimAssertPanicsOnFalse)
+{
+    EXPECT_THROW(simAssert(false, "invariant broken"), PanicError);
+}
+
+TEST(LoggingTest, PanicIsALogicError)
+{
+    EXPECT_THROW(panic("x"), std::logic_error);
+}
+
+TEST(LoggingTest, FatalIsARuntimeError)
+{
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Statistical sanity tests for the Rng distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using infless::sim::hashCombine;
+using infless::sim::Rng;
+
+TEST(RngTest, UniformStaysInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanIsAboutHalf)
+{
+    Rng rng(2);
+    double sum = 0.0;
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate)
+{
+    Rng rng(3);
+    double rate = 4.0;
+    double sum = 0.0;
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatches)
+{
+    Rng rng(4);
+    double mean = 7.5;
+    double sum = 0.0;
+    constexpr int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, 0.1);
+}
+
+TEST(RngTest, PoissonOfNonPositiveMeanIsZero)
+{
+    Rng rng(5);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+    EXPECT_EQ(rng.poisson(-3.0), 0);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange)
+{
+    Rng rng(6);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ReseedReproducesStream)
+{
+    Rng rng(42);
+    auto a = rng.raw();
+    auto b = rng.raw();
+    rng.reseed(42);
+    EXPECT_EQ(rng.raw(), a);
+    EXPECT_EQ(rng.raw(), b);
+}
+
+TEST(RngTest, ForkedStreamsDiffer)
+{
+    Rng rng(42);
+    Rng f1 = rng.fork(1);
+    Rng f2 = rng.fork(2);
+    EXPECT_NE(f1.raw(), f2.raw());
+}
+
+TEST(RngTest, HashCombineIsDeterministicAndSpreads)
+{
+    EXPECT_EQ(hashCombine(1, 2), hashCombine(1, 2));
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+    EXPECT_NE(hashCombine(1, 2), hashCombine(1, 3));
+}
+
+TEST(RngTest, NormalMeanAndSpread)
+{
+    Rng rng(7);
+    double sum = 0.0, sq = 0.0;
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP)
+{
+    Rng rng(8);
+    int hits = 0;
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the Simulation context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hh"
+
+namespace {
+
+using infless::sim::kTicksPerSec;
+using infless::sim::Simulation;
+using infless::sim::Tick;
+
+TEST(SimulationTest, AfterSchedulesRelativeToNow)
+{
+    Simulation sim;
+    std::vector<Tick> fired;
+    sim.after(100, [&] {
+        fired.push_back(sim.now());
+        sim.after(50, [&] { fired.push_back(sim.now()); });
+    });
+    sim.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{100, 150}));
+}
+
+TEST(SimulationTest, PeriodicFiresAtFixedCadence)
+{
+    Simulation sim;
+    std::vector<Tick> fired;
+    sim.every(10, [&] { fired.push_back(sim.now()); }, 45);
+    sim.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30, 40}));
+}
+
+TEST(SimulationTest, PeriodicStopsWhenAsked)
+{
+    Simulation sim;
+    int count = 0;
+    auto handle = sim.every(10, [&] { ++count; }, 1000);
+    sim.after(35, [&] { handle->stop(); });
+    sim.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, PeriodicWithInfiniteHorizonWorksWithRunUntil)
+{
+    Simulation sim;
+    int count = 0;
+    sim.every(kTicksPerSec, [&] { ++count; });
+    sim.runUntil(5 * kTicksPerSec);
+    EXPECT_EQ(count, 5);
+    sim.runUntil(10 * kTicksPerSec);
+    EXPECT_EQ(count, 10);
+}
+
+TEST(SimulationTest, ForkedRngsAreIndependentOfDrawOrder)
+{
+    Simulation a(7);
+    Simulation b(7);
+    auto a1 = a.forkRng(1);
+    auto a2 = a.forkRng(2);
+    auto b1 = b.forkRng(1);
+    auto b2 = b.forkRng(2);
+    // Same seeds and keys -> same streams regardless of interleaving.
+    EXPECT_EQ(a1.raw(), b1.raw());
+    EXPECT_EQ(a2.raw(), b2.raw());
+}
+
+TEST(SimulationTest, SameSeedReproducesSameStream)
+{
+    Simulation a(123);
+    Simulation b(123);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.rng().raw(), b.rng().raw());
+}
+
+TEST(SimulationTest, DifferentSeedsDiverge)
+{
+    Simulation a(1);
+    Simulation b(2);
+    bool all_equal = true;
+    for (int i = 0; i < 10; ++i) {
+        if (a.rng().raw() != b.rng().raw())
+            all_equal = false;
+    }
+    EXPECT_FALSE(all_equal);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for trace representations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "sim/rng.hh"
+#include "workload/trace.hh"
+
+namespace {
+
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::Rng;
+using infless::sim::Tick;
+using infless::workload::ArrivalTrace;
+using infless::workload::RateSeries;
+
+TEST(RateSeriesTest, RpsAtIndexesBins)
+{
+    RateSeries s;
+    s.binWidth = kTicksPerMin;
+    s.rps = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(s.rpsAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.rpsAt(kTicksPerMin), 2.0);
+    EXPECT_DOUBLE_EQ(s.rpsAt(3 * kTicksPerMin), 0.0); // past the end
+    EXPECT_DOUBLE_EQ(s.rpsAt(-5), 0.0);
+}
+
+TEST(RateSeriesTest, MeanAndPeak)
+{
+    RateSeries s;
+    s.rps = {1.0, 3.0, 5.0};
+    EXPECT_DOUBLE_EQ(s.meanRps(), 3.0);
+    EXPECT_DOUBLE_EQ(s.peakRps(), 5.0);
+}
+
+TEST(RateSeriesTest, ScaledMultipliesEveryBin)
+{
+    RateSeries s;
+    s.rps = {1.0, 2.0};
+    RateSeries doubled = s.scaled(2.0);
+    EXPECT_DOUBLE_EQ(doubled.rps[0], 2.0);
+    EXPECT_DOUBLE_EQ(doubled.rps[1], 4.0);
+    EXPECT_DOUBLE_EQ(s.rps[0], 1.0); // original untouched
+}
+
+TEST(RateSeriesTest, TruncatedKeepsPrefix)
+{
+    RateSeries s;
+    s.binWidth = kTicksPerMin;
+    s.rps = {1, 2, 3, 4, 5};
+    RateSeries cut = s.truncated(2 * kTicksPerMin);
+    EXPECT_EQ(cut.rps.size(), 2u);
+    RateSeries over = s.truncated(100 * kTicksPerMin);
+    EXPECT_EQ(over.rps.size(), 5u);
+}
+
+TEST(ArrivalTraceTest, FromRateSeriesMatchesExpectedCount)
+{
+    RateSeries s;
+    s.binWidth = kTicksPerSec;
+    s.rps.assign(600, 50.0); // 50 RPS for 10 minutes -> ~30,000 arrivals
+    Rng rng(7);
+    ArrivalTrace trace = ArrivalTrace::fromRateSeries(s, rng);
+    EXPECT_NEAR(static_cast<double>(trace.size()), 30'000.0, 1000.0);
+}
+
+TEST(ArrivalTraceTest, ArrivalsAreSortedAndInRange)
+{
+    RateSeries s;
+    s.binWidth = kTicksPerSec;
+    s.rps.assign(10, 100.0);
+    Rng rng(9);
+    ArrivalTrace trace = ArrivalTrace::fromRateSeries(s, rng);
+    Tick prev = 0;
+    for (Tick t : trace.arrivals()) {
+        EXPECT_GE(t, prev);
+        EXPECT_LT(t, 10 * kTicksPerSec);
+        prev = t;
+    }
+}
+
+TEST(ArrivalTraceTest, ZeroRateBinsProduceNothing)
+{
+    RateSeries s;
+    s.binWidth = kTicksPerSec;
+    s.rps = {0.0, 0.0, 0.0};
+    Rng rng(1);
+    EXPECT_TRUE(ArrivalTrace::fromRateSeries(s, rng).empty());
+}
+
+TEST(ArrivalTraceTest, UnsortedConstructionPanics)
+{
+    EXPECT_THROW(ArrivalTrace(std::vector<Tick>{5, 3, 8}),
+                 infless::sim::PanicError);
+}
+
+TEST(ArrivalTraceTest, IdleGapsAreConsecutiveDifferences)
+{
+    ArrivalTrace trace(std::vector<Tick>{10, 30, 35, 100});
+    auto gaps = trace.idleGaps();
+    EXPECT_EQ(gaps, (std::vector<Tick>{20, 5, 65}));
+}
+
+TEST(ArrivalTraceTest, IdleGapsOfShortTraces)
+{
+    EXPECT_TRUE(ArrivalTrace().idleGaps().empty());
+    EXPECT_TRUE(ArrivalTrace(std::vector<Tick>{5}).idleGaps().empty());
+}
+
+TEST(ArrivalTraceTest, DeterministicUnderSameSeed)
+{
+    RateSeries s;
+    s.binWidth = kTicksPerSec;
+    s.rps.assign(30, 20.0);
+    Rng a(42), b(42);
+    auto ta = ArrivalTrace::fromRateSeries(s, a);
+    auto tb = ArrivalTrace::fromRateSeries(s, b);
+    EXPECT_EQ(ta.arrivals(), tb.arrivals());
+}
+
+} // namespace
