@@ -1,0 +1,95 @@
+#include "cluster/capacity_index.hh"
+
+#include "sim/logging.hh"
+
+namespace infless::cluster {
+
+void
+CapacityIndex::rebuild(const std::vector<Server> &servers)
+{
+    classes_.clear();
+    serverCount_ = 0;
+    for (const auto &s : servers)
+        insert(s.id(), s.available());
+}
+
+void
+CapacityIndex::insert(ServerId id, const Resources &avail)
+{
+    classes_[avail].members.insert(id);
+    ++serverCount_;
+}
+
+void
+CapacityIndex::update(ServerId id, const Resources &before,
+                      const Resources &after)
+{
+    auto it = classes_.find(before);
+    sim::simAssert(it != classes_.end() && it->second.members.count(id),
+                   "capacity index out of sync for server ", id);
+    it->second.members.erase(id);
+    if (it->second.members.empty())
+        classes_.erase(it);
+    classes_[after].members.insert(id);
+}
+
+ServerId
+CapacityIndex::firstFit(const Resources &req) const
+{
+    ServerId best = kNoServer;
+    for (const auto &[avail, entry] : classes_) {
+        if (!req.fitsIn(avail))
+            continue;
+        ServerId min_id = *entry.members.begin();
+        if (best == kNoServer || min_id < best)
+            best = min_id;
+    }
+    return best;
+}
+
+ServerId
+CapacityIndex::bestFit(const Resources &req, double beta) const
+{
+    ServerId best = kNoServer;
+    double best_avail = std::numeric_limits<double>::max();
+    for (const auto &[avail, entry] : classes_) {
+        if (!req.fitsIn(avail))
+            continue;
+        if (entry.cachedBeta != beta) {
+            entry.cachedWeighted = avail.weighted(beta);
+            entry.cachedBeta = beta;
+        }
+        double weighted = entry.cachedWeighted;
+        ServerId min_id = *entry.members.begin();
+        // Mirror a linear id-order scan with a strict `<` improvement
+        // test: smallest weighted availability wins, ties go to the
+        // lowest id.
+        if (best == kNoServer || weighted < best_avail ||
+            (weighted == best_avail && min_id < best)) {
+            best_avail = weighted;
+            best = min_id;
+        }
+    }
+    return best;
+}
+
+bool
+CapacityIndex::consistentWith(const std::vector<Server> &servers) const
+{
+    std::size_t filed = 0;
+    for (const auto &[avail, entry] : classes_) {
+        if (entry.members.empty())
+            return false;
+        for (ServerId id : entry.members) {
+            if (id < 0 || static_cast<std::size_t>(id) >= servers.size())
+                return false;
+            if (!(servers[static_cast<std::size_t>(id)].available() ==
+                  avail))
+                return false;
+            ++filed;
+        }
+    }
+    return filed == servers.size() && serverCount_ == servers.size();
+}
+
+} // namespace infless::cluster

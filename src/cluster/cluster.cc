@@ -10,6 +10,7 @@ Cluster::Cluster(std::size_t num_servers, const Resources &capacity)
     servers_.reserve(num_servers);
     for (std::size_t i = 0; i < num_servers; ++i)
         servers_.emplace_back(static_cast<ServerId>(i), capacity);
+    index_.rebuild(servers_);
 }
 
 Cluster::Cluster(const std::vector<Resources> &capacities)
@@ -19,6 +20,7 @@ Cluster::Cluster(const std::vector<Resources> &capacities)
     servers_.reserve(capacities.size());
     for (std::size_t i = 0; i < capacities.size(); ++i)
         servers_.emplace_back(static_cast<ServerId>(i), capacities[i]);
+    index_.rebuild(servers_);
 }
 
 std::vector<Resources>
@@ -32,7 +34,7 @@ Cluster::capacities() const
 }
 
 Server &
-Cluster::server(ServerId id)
+Cluster::serverMut(ServerId id)
 {
     sim::simAssert(id >= 0 && static_cast<std::size_t>(id) < servers_.size(),
                    "bad server id ", id);
@@ -100,23 +102,33 @@ Cluster::activeServers() const
 bool
 Cluster::allocate(ServerId id, const Resources &req)
 {
-    return server(id).allocate(req);
+    Server &s = serverMut(id);
+    Resources before = s.available();
+    if (!s.allocate(req))
+        return false;
+    index_.update(id, before, s.available());
+    return true;
 }
 
 void
 Cluster::release(ServerId id, const Resources &req)
 {
-    server(id).release(req);
+    Server &s = serverMut(id);
+    Resources before = s.available();
+    s.release(req);
+    index_.update(id, before, s.available());
 }
 
 ServerId
 Cluster::firstFit(const Resources &req) const
 {
-    for (const auto &s : servers_) {
-        if (s.canFit(req))
-            return s.id();
-    }
-    return kNoServer;
+    return index_.firstFit(req);
+}
+
+ServerId
+Cluster::bestFit(const Resources &req, double beta) const
+{
+    return index_.bestFit(req, beta);
 }
 
 } // namespace infless::cluster

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "cluster/capacity_index.hh"
 #include "cluster/resources.hh"
 #include "cluster/server.hh"
 
@@ -43,11 +44,16 @@ class Cluster
 
     std::size_t size() const { return servers_.size(); }
 
-    Server &server(ServerId id);
     const Server &server(ServerId id) const;
 
-    std::vector<Server> &servers() { return servers_; }
     const std::vector<Server> &servers() const { return servers_; }
+
+    /**
+     * The capacity index over the fleet. Kept in sync by allocate() and
+     * release() — all mutation must go through the Cluster, never
+     * directly through a Server.
+     */
+    const CapacityIndex &capacityIndex() const { return index_; }
 
     /** Sum of all capacities. */
     Resources totalCapacity() const;
@@ -77,12 +83,26 @@ class Cluster
     /**
      * First-fit probe: the first server that can host @p req.
      *
+     * Answered from the capacity index — O(classes), not O(servers).
+     *
      * @return kNoServer when nothing fits.
      */
     ServerId firstFit(const Resources &req) const;
 
+    /**
+     * Best-fit probe: the server with the smallest weighted availability
+     * that can host @p req, ties to the lowest id (equivalent to a linear
+     * id-order best-fit scan). Answered from the capacity index.
+     *
+     * @return kNoServer when nothing fits.
+     */
+    ServerId bestFit(const Resources &req, double beta) const;
+
   private:
+    Server &serverMut(ServerId id);
+
     std::vector<Server> servers_;
+    CapacityIndex index_;
 };
 
 } // namespace infless::cluster

@@ -29,6 +29,7 @@ Server::allocate(const Resources &req)
         return false;
     available_ -= req;
     ++allocationCount_;
+    invalidateWeighted();
     return true;
 }
 
@@ -42,6 +43,7 @@ Server::release(const Resources &req)
                    "release with no live allocations on server ", id_);
     available_ = restored;
     --allocationCount_;
+    invalidateWeighted();
 }
 
 double

@@ -7,6 +7,7 @@
 #define INFLESS_CLUSTER_SERVER_HH
 
 #include <cstdint>
+#include <limits>
 
 #include "cluster/resources.hh"
 
@@ -39,6 +40,24 @@ class Server
 
     /** Currently unallocated resources. */
     const Resources &available() const { return available_; }
+
+    /**
+     * available().weighted(beta), cached between allocations.
+     *
+     * The scheduler evaluates every (candidate, server) pair against the
+     * same availability; the cache turns the repeated weighted() into a
+     * load. Invalidated by allocate()/release(), recomputed when @p beta
+     * differs from the cached one.
+     */
+    double
+    weightedAvailable(double beta) const
+    {
+        if (weightedBeta_ != beta) {
+            weightedCache_ = available_.weighted(beta);
+            weightedBeta_ = beta;
+        }
+        return weightedCache_;
+    }
 
     /** Currently allocated resources. */
     Resources allocated() const { return capacity_ - available_; }
@@ -78,10 +97,20 @@ class Server
     }
 
   private:
+    /** Drop the weighted-availability cache (availability changed). */
+    void
+    invalidateWeighted()
+    {
+        weightedBeta_ = std::numeric_limits<double>::quiet_NaN();
+    }
+
     ServerId id_ = kNoServer;
     Resources capacity_;
     Resources available_;
     int allocationCount_ = 0;
+    /** NaN == "no cached value" (never compares equal to any beta). */
+    mutable double weightedBeta_ = std::numeric_limits<double>::quiet_NaN();
+    mutable double weightedCache_ = 0.0;
 };
 
 /** The paper's testbed node: 16 cores, 128 GiB, 2x RTX 2080Ti. */

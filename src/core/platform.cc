@@ -163,7 +163,7 @@ Platform::scheduleNextArrival(std::size_t feed_idx)
     if (feed.cursor >= feed.trace.size())
         return;
     sim::Tick when = feed.trace.arrivals()[feed.cursor];
-    sim_.at(std::max(when, sim_.now()), [this, feed_idx] {
+    sim_.atFixed(std::max(when, sim_.now()), [this, feed_idx] {
         TraceFeed &f = feeds_[feed_idx];
         ++f.cursor;
         onArrival(f.fn);
@@ -276,7 +276,7 @@ Platform::ingestRequest(FunctionId fn, RequestIndex request)
 
     sim::Tick delay = ingressDelay();
     if (delay > 0) {
-        sim_.after(delay, [this, fn, request] {
+        sim_.afterFixed(delay, [this, fn, request] {
             routeRequest(fn, request);
         });
     } else {
@@ -408,21 +408,24 @@ Platform::startBatch(std::size_t idx)
         rt.expiryEvent = sim::kNoEvent;
     }
 
-    sim_.after(exec_time,
-               [this, idx, batch = std::move(batch), now, exec_time] {
-                   onBatchComplete(idx, batch, now, exec_time);
-               });
+    sim_.afterFixed(exec_time,
+                    [this, idx, batch = std::move(batch), now, exec_time] {
+                        onBatchComplete(idx, batch, now, exec_time);
+                    });
 }
 
 void
 Platform::onBatchComplete(std::size_t idx, std::vector<RequestIndex> batch,
                           sim::Tick started, sim::Tick exec_time)
 {
-    InstanceRuntime &rt = instances_[idx];
-    rt.inst.finishBatch(sim_.now());
+    instances_[idx].inst.finishBatch(sim_.now());
     for (RequestIndex request : batch)
         completeRequest(idx, request, started, exec_time);
 
+    // Re-resolve after completeRequest: completing requests can launch
+    // replacement instances and reallocate instances_ underneath any
+    // reference taken before the loop.
+    InstanceRuntime &rt = instances_[idx];
     if (rt.reapAsap) {
         // Forced hand-over: re-route whatever queued behind this batch
         // and free the resources for the replacement fleet.
@@ -643,7 +646,7 @@ Platform::launchInstance(FunctionId fn, const LaunchPlan &plan,
     total_.recordInstanceCount(now, liveInstanceCount());
     recordAllocationChange();
 
-    sim_.after(startup, [this, idx] { onWarm(idx); });
+    sim_.afterFixed(startup, [this, idx] { onWarm(idx); });
     return idx;
 }
 

@@ -95,6 +95,16 @@ class GreedyScheduler
     std::int64_t instanceMemoryMb(const models::ModelInfo &model) const;
 
     /**
+     * Warm the COP memo for @p model over this scheduler's full
+     * (batch ladder x config grid) so subsequent schedule() calls never
+     * take a first-touch composition miss.
+     *
+     * @return Number of predictor cache entries filled.
+     */
+    std::size_t prewarm(const models::ModelInfo &model,
+                        int max_batch) const;
+
+    /**
      * AvailableConfig (Algorithm 1, lines 16-27): all (b=batch, c, g)
      * whose predicted execution time admits the SLO and, for b > 1, whose
      * r_low the residual rate can saturate.
@@ -123,6 +133,15 @@ class GreedyScheduler
      * Algorithm 1: plan (and allocate on @p cluster) instances covering
      * @p residual_rps for one function.
      *
+     * Fast-path implementation: the feasible (b, c, g) pool is built once
+     * per call (it depends only on model, batch and SLO), candidates keep
+     * a memoized weighted cost and are gated against the shrinking
+     * residual by a pre-sorted r_low threshold cut, and the argmax over
+     * e_ij is evaluated once per capacity-index class instead of once per
+     * server. Guaranteed to produce a LaunchPlan sequence bit-identical
+     * to scheduleNaive() (the equivalence is pinned by
+     * tests/core/scheduler_equivalence_test.cc).
+     *
      * Allocations are committed into the cluster as plans are made; the
      * caller launches the corresponding instances (or releases the
      * resources if it chooses not to).
@@ -136,7 +155,23 @@ class GreedyScheduler
                                      int max_batch,
                                      cluster::Cluster &cluster) const;
 
+    /**
+     * Reference implementation of schedule(): rebuilds the candidate pool
+     * and scans every server for every placement, O(placements x batches
+     * x configs x servers). Kept as the oracle for the equivalence test
+     * and the before/after series of bench_fig17_scale.
+     */
+    std::vector<LaunchPlan> scheduleNaive(const models::ModelInfo &model,
+                                          double residual_rps,
+                                          sim::Tick slo, int max_batch,
+                                          cluster::Cluster &cluster) const;
+
   private:
+    /** Eq. 10 on precomputed scalars (fit already checked). */
+    double efficiencyFromAvail(const CandidateConfig &candidate,
+                               double cost, double weighted_avail,
+                               double norm, double residual_rps) const;
+
     const profiler::CopPredictor &predictor_;
     SchedulerConfig config_;
 };

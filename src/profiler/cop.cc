@@ -12,6 +12,26 @@ CopPredictor::CopPredictor(OpProfileDb &db, CopOptions options)
 {
     sim::simAssert(options_.safetyOffset >= 0.0,
                    "safety offset must be non-negative");
+    // A model zoo x batch ladder x config grid comfortably fits; avoid
+    // rehashing while the scheduler is warming the memo.
+    memo_.reserve(1024);
+}
+
+std::size_t
+CopPredictor::prewarm(const models::ModelInfo &model,
+                      const std::vector<int> &batches,
+                      const std::vector<std::int64_t> &cpu_choices,
+                      const std::vector<std::int64_t> &gpu_choices,
+                      std::int64_t memory_mb) const
+{
+    std::size_t before = memo_.size();
+    for (int b : batches) {
+        for (std::int64_t cpu : cpu_choices) {
+            for (std::int64_t gpu : gpu_choices)
+                rawMicros(model, b, cluster::Resources{cpu, gpu, memory_mb});
+        }
+    }
+    return memo_.size() - before;
 }
 
 double

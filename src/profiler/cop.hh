@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/resources.hh"
 #include "models/exec_model.hh"
@@ -58,6 +59,22 @@ class CopPredictor
      */
     sim::Tick predict(const models::ModelInfo &model, int batch,
                       const cluster::Resources &res) const;
+
+    /**
+     * Fill the memo for every (batch, cpu, gpu) combination up front so
+     * scheduling loops never take a composition miss. The memo is shared
+     * across batches — one prewarm keeps it hot for the whole ladder.
+     *
+     * @return Number of combinations composed (cache misses filled).
+     */
+    std::size_t prewarm(const models::ModelInfo &model,
+                        const std::vector<int> &batches,
+                        const std::vector<std::int64_t> &cpu_choices,
+                        const std::vector<std::int64_t> &gpu_choices,
+                        std::int64_t memory_mb) const;
+
+    /** Number of memoized raw predictions. */
+    std::size_t memoSize() const { return memo_.size(); }
 
     /**
      * Relative prediction error |pred - truth| / truth of the *raw*

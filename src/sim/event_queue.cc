@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,14 +8,30 @@
 namespace infless::sim {
 
 EventId
-EventQueue::schedule(Tick when, Callback cb, int priority)
+EventQueue::push(Tick when, Callback cb, int priority, bool cancellable)
 {
     if (when < now_) {
         panic("scheduling into the past: when=", when, " now=", now_);
     }
     EventId id = nextId_++;
-    heap_.push(Entry{when, priority, id, std::move(cb)});
+    heap_.push_back(Entry{when, priority, id, cancellable, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return id;
+}
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    EventId id = push(when, std::move(cb), priority, true);
     live_.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleFixed(Tick when, Callback cb, int priority)
+{
+    EventId id = push(when, std::move(cb), priority, false);
+    ++fixedPending_;
     return id;
 }
 
@@ -27,8 +44,13 @@ EventQueue::cancel(EventId id)
 void
 EventQueue::skipDead()
 {
-    while (!heap_.empty() && !live_.count(heap_.top().id))
-        heap_.pop();
+    // Fixed entries are always live; only cancellable ones need the hash
+    // probe, and only when some cancellable event has ever been dropped.
+    while (!heap_.empty() && heap_.front().cancellable &&
+           !live_.count(heap_.front().id)) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+    }
 }
 
 bool
@@ -37,9 +59,13 @@ EventQueue::popAndRun()
     skipDead();
     if (heap_.empty())
         return false;
-    Entry top = heap_.top();
-    heap_.pop();
-    live_.erase(top.id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry top = std::move(heap_.back());
+    heap_.pop_back();
+    if (top.cancellable)
+        live_.erase(top.id);
+    else
+        --fixedPending_;
     now_ = top.when;
     ++executed_;
     top.cb();
@@ -58,7 +84,7 @@ EventQueue::runUntil(Tick until)
     std::size_t count = 0;
     for (;;) {
         skipDead();
-        if (heap_.empty() || heap_.top().when > until)
+        if (heap_.empty() || heap_.front().when > until)
             break;
         if (!popAndRun())
             break;

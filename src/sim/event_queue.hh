@@ -4,7 +4,9 @@
  *
  * Events execute in (time, priority, insertion-order) order, giving fully
  * deterministic simulations. Cancellation is O(1) via a live-id set; the
- * heap discards dead entries lazily.
+ * heap discards dead entries lazily. Events known to never be cancelled
+ * (arrivals, completions, periodic ticks — the bulk of a long drain) take
+ * a fast path via scheduleFixed() that skips the live-id hash entirely.
  */
 
 #ifndef INFLESS_SIM_EVENT_QUEUE_HH
@@ -13,7 +15,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -38,7 +39,10 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue() { heap_.reserve(kDefaultReserve); }
+
+    /** Pre-size the heap for an expected number of in-flight events. */
+    void reserve(std::size_t n) { heap_.reserve(n); }
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -51,6 +55,13 @@ class EventQueue
     EventId schedule(Tick when, Callback cb, int priority = 0);
 
     /**
+     * Fast-path schedule for events that will never be cancelled: the
+     * entry bypasses the live-id hash on insert, pop and dead-entry
+     * skipping. cancel() on the returned id is a no-op returning false.
+     */
+    EventId scheduleFixed(Tick when, Callback cb, int priority = 0);
+
+    /**
      * Cancel a previously scheduled event.
      *
      * @return true if the event was still pending and is now cancelled.
@@ -61,10 +72,10 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Whether any live events remain. */
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return live_.empty() && fixedPending_ == 0; }
 
     /** Number of live (non-cancelled, not-yet-run) events. */
-    std::size_t pending() const { return live_.size(); }
+    std::size_t pending() const { return live_.size() + fixedPending_; }
 
     /**
      * Run the next event, advancing the clock to its timestamp.
@@ -93,11 +104,16 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
+    /** Initial heap capacity; avoids growth reallocations early on. */
+    static constexpr std::size_t kDefaultReserve = 1024;
+
     struct Entry
     {
         Tick when;
         int priority;
         EventId id;
+        /** false = scheduleFixed() fast path, not tracked in live_. */
+        bool cancellable;
         Callback cb;
     };
 
@@ -114,13 +130,17 @@ class EventQueue
         }
     };
 
+    EventId push(Tick when, Callback cb, int priority, bool cancellable);
+
     /** Drop heap entries whose ids are no longer live. */
     void skipDead();
 
     bool popAndRun();
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Binary heap (std::push_heap/pop_heap) — front is the next event. */
+    std::vector<Entry> heap_;
     std::unordered_set<EventId> live_;
+    std::size_t fixedPending_ = 0;
     Tick now_ = 0;
     EventId nextId_ = 1;
     std::uint64_t executed_ = 0;

@@ -61,6 +61,24 @@ class Simulation
     }
 
     /**
+     * Schedule at an absolute tick, never-cancelled fast path (the
+     * returned id is not cancel()able — see EventQueue::scheduleFixed).
+     */
+    EventId
+    atFixed(Tick when, EventQueue::Callback cb, int priority = 0)
+    {
+        return events_.scheduleFixed(when, std::move(cb), priority);
+    }
+
+    /** Schedule @p delay ticks from now, never-cancelled fast path. */
+    EventId
+    afterFixed(Tick delay, EventQueue::Callback cb, int priority = 0)
+    {
+        return events_.scheduleFixed(now() + delay, std::move(cb),
+                                     priority);
+    }
+
+    /**
      * Schedule a periodic callback.
      *
      * The callback receives no arguments and re-arms itself until the
@@ -106,7 +124,8 @@ class Simulation
         Tick next = now() + period;
         if (next > horizon)
             return;
-        events_.schedule(next, [this, handle, period, cb, horizon]() {
+        // Periodic series stop through the handle, never via cancel().
+        events_.scheduleFixed(next, [this, handle, period, cb, horizon]() {
             if (handle->stopped())
                 return;
             cb();

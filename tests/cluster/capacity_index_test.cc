@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the server capacity index: class splitting/merging under
+ * allocate/release and the firstFit/bestFit probes against linear scans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cluster/capacity_index.hh"
+#include "cluster/cluster.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using infless::cluster::CapacityIndex;
+using infless::cluster::Cluster;
+using infless::cluster::kDefaultBeta;
+using infless::cluster::kNoServer;
+using infless::cluster::Resources;
+using infless::cluster::ServerId;
+using infless::sim::Rng;
+
+/** Reference first-fit: linear scan in id order. */
+ServerId
+naiveFirstFit(const Cluster &c, const Resources &req)
+{
+    for (const auto &s : c.servers()) {
+        if (s.canFit(req))
+            return s.id();
+    }
+    return kNoServer;
+}
+
+/** Reference best-fit: smallest weighted availability, id order. */
+ServerId
+naiveBestFit(const Cluster &c, const Resources &req, double beta)
+{
+    ServerId target = kNoServer;
+    double best_avail = std::numeric_limits<double>::max();
+    for (const auto &s : c.servers()) {
+        if (!s.canFit(req))
+            continue;
+        double avail = s.available().weighted(beta);
+        if (avail < best_avail) {
+            best_avail = avail;
+            target = s.id();
+        }
+    }
+    return target;
+}
+
+TEST(CapacityIndexTest, FreshHomogeneousClusterHasOneClass)
+{
+    Cluster c(2000);
+    EXPECT_EQ(c.capacityIndex().classCount(), 1u);
+    EXPECT_EQ(c.capacityIndex().serverCount(), 2000u);
+    EXPECT_TRUE(c.capacityIndex().consistentWith(c.servers()));
+}
+
+TEST(CapacityIndexTest, AllocateSplitsClassReleaseMerges)
+{
+    Cluster c(8);
+    Resources req{2000, 10, 1024};
+
+    ASSERT_TRUE(c.allocate(3, req));
+    EXPECT_EQ(c.capacityIndex().classCount(), 2u);
+    EXPECT_TRUE(c.capacityIndex().consistentWith(c.servers()));
+
+    // A second server with the same allocation joins the split class.
+    ASSERT_TRUE(c.allocate(5, req));
+    EXPECT_EQ(c.capacityIndex().classCount(), 2u);
+
+    // A different allocation opens a third class.
+    ASSERT_TRUE(c.allocate(6, Resources{500, 0, 512}));
+    EXPECT_EQ(c.capacityIndex().classCount(), 3u);
+
+    // Releases collapse everything back to one class.
+    c.release(3, req);
+    c.release(5, req);
+    c.release(6, Resources{500, 0, 512});
+    EXPECT_EQ(c.capacityIndex().classCount(), 1u);
+    EXPECT_TRUE(c.capacityIndex().consistentWith(c.servers()));
+}
+
+TEST(CapacityIndexTest, HeterogeneousClusterClassesByCapacity)
+{
+    std::vector<Resources> caps = {Resources{16'000, 200, 131'072},
+                                   Resources{16'000, 200, 131'072},
+                                   Resources{32'000, 0, 262'144}};
+    Cluster c(caps);
+    EXPECT_EQ(c.capacityIndex().classCount(), 2u);
+}
+
+TEST(CapacityIndexTest, FirstFitMatchesLinearScan)
+{
+    Cluster c(12);
+    Rng rng(99);
+    // Random churn, checking the probe after every step.
+    struct Alloc
+    {
+        ServerId server;
+        Resources res;
+    };
+    std::vector<Alloc> live;
+    for (int step = 0; step < 400; ++step) {
+        Resources req{rng.uniformInt(0, 8) * 2000,
+                      rng.uniformInt(0, 10) * 20,
+                      rng.uniformInt(1, 48) * 1024};
+        if (rng.uniform() < 0.6) {
+            ServerId id = c.firstFit(req);
+            ASSERT_EQ(id, naiveFirstFit(c, req)) << "step " << step;
+            if (id != kNoServer && !req.isZero()) {
+                ASSERT_TRUE(c.allocate(id, req));
+                live.push_back({id, req});
+            }
+        } else if (!live.empty()) {
+            std::size_t pick = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            c.release(live[pick].server, live[pick].res);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+        ASSERT_TRUE(c.capacityIndex().consistentWith(c.servers()));
+    }
+}
+
+TEST(CapacityIndexTest, BestFitMatchesLinearScan)
+{
+    Cluster c(12);
+    Rng rng(7);
+    std::vector<std::pair<ServerId, Resources>> live;
+    for (int step = 0; step < 400; ++step) {
+        Resources req{rng.uniformInt(0, 6) * 1000,
+                      rng.uniformInt(0, 9) * 10,
+                      rng.uniformInt(1, 32) * 1024};
+        ServerId indexed = c.bestFit(req, kDefaultBeta);
+        ASSERT_EQ(indexed, naiveBestFit(c, req, kDefaultBeta))
+            << "step " << step;
+        if (rng.uniform() < 0.6) {
+            if (indexed != kNoServer && !req.isZero()) {
+                ASSERT_TRUE(c.allocate(indexed, req));
+                live.emplace_back(indexed, req);
+            }
+        } else if (!live.empty()) {
+            std::size_t pick = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            c.release(live[pick].first, live[pick].second);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+}
+
+TEST(CapacityIndexTest, BestFitPrefersLowestIdOnWeightedTie)
+{
+    // Two classes with different memory but identical weighted compute:
+    // memory does not enter weighted(), so both tie and the lowest id
+    // must win (matching a linear scan with strict improvement).
+    Cluster c(4);
+    ASSERT_TRUE(c.allocate(1, Resources{0, 0, 1024}));
+    ASSERT_TRUE(c.allocate(2, Resources{0, 0, 2048}));
+    EXPECT_EQ(c.capacityIndex().classCount(), 3u);
+    ServerId id = c.bestFit(Resources{1000, 10, 512}, kDefaultBeta);
+    EXPECT_EQ(id, 0); // all weighted-equal; linear scan returns server 0
+}
+
+TEST(CapacityIndexTest, RebuildMatchesIncrementalState)
+{
+    Cluster c(6);
+    ASSERT_TRUE(c.allocate(0, Resources{1000, 10, 512}));
+    ASSERT_TRUE(c.allocate(4, Resources{2000, 0, 4096}));
+
+    CapacityIndex fresh;
+    fresh.rebuild(c.servers());
+    EXPECT_EQ(fresh.classCount(), c.capacityIndex().classCount());
+    EXPECT_TRUE(fresh.consistentWith(c.servers()));
+
+    // Both indexes answer probes identically.
+    Resources probe{12'000, 150, 1024};
+    EXPECT_EQ(fresh.firstFit(probe), c.capacityIndex().firstFit(probe));
+    EXPECT_EQ(fresh.bestFit(probe, kDefaultBeta),
+              c.capacityIndex().bestFit(probe, kDefaultBeta));
+}
+
+TEST(CapacityIndexTest, ForEachClassReportsMinIdAndCount)
+{
+    Cluster c(5);
+    ASSERT_TRUE(c.allocate(2, Resources{1000, 0, 1024}));
+
+    std::size_t classes = 0;
+    std::size_t servers = 0;
+    c.capacityIndex().forEachClass(
+        kDefaultBeta, [&](const Resources &avail, double weighted,
+                          ServerId min_id, std::size_t count) {
+            EXPECT_EQ(weighted, avail.weighted(kDefaultBeta));
+            if (count == 4)
+                EXPECT_EQ(min_id, 0); // untouched servers: 0,1,3,4
+            else
+                EXPECT_EQ(min_id, 2);
+            ++classes;
+            servers += count;
+        });
+    EXPECT_EQ(classes, 2u);
+    EXPECT_EQ(servers, 5u);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Equivalence property of the scheduler fast path: the capacity-indexed
+ * schedule() must produce LaunchPlan sequences bit-identical to the
+ * O(servers)-per-placement scheduleNaive() reference, across randomized
+ * (model, slo, rps, cluster-occupancy) cases and every ablation flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "core/scheduler.hh"
+#include "models/exec_model.hh"
+#include "models/model_zoo.hh"
+#include "profiler/cop.hh"
+#include "profiler/op_profile_db.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace {
+
+namespace cluster = infless::cluster;
+
+using cluster::Cluster;
+using cluster::Resources;
+using infless::core::GreedyScheduler;
+using infless::core::LaunchPlan;
+using infless::core::SchedulerConfig;
+using infless::models::ExecModel;
+using infless::models::ModelZoo;
+using infless::profiler::CopPredictor;
+using infless::profiler::OpProfileDb;
+using infless::sim::msToTicks;
+using infless::sim::Rng;
+
+void
+expectIdenticalPlans(const std::vector<LaunchPlan> &fast,
+                     const std::vector<LaunchPlan> &naive,
+                     const std::string &context)
+{
+    ASSERT_EQ(fast.size(), naive.size()) << context;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        SCOPED_TRACE(context + " plan #" + std::to_string(i));
+        EXPECT_EQ(fast[i].server, naive[i].server);
+        EXPECT_EQ(fast[i].config, naive[i].config);
+        EXPECT_EQ(fast[i].execPredicted, naive[i].execPredicted);
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(fast[i].bounds.up, naive[i].bounds.up);
+        EXPECT_EQ(fast[i].bounds.low, naive[i].bounds.low);
+    }
+}
+
+/** Occupy the cluster with random allocations so classes fragment. */
+void
+randomOccupancy(Cluster &c, Rng &rng, double fill_probability)
+{
+    for (cluster::ServerId id = 0;
+         id < static_cast<cluster::ServerId>(c.size()); ++id) {
+        while (rng.uniform() < fill_probability) {
+            Resources req{rng.uniformInt(0, 7) * 1000,
+                          rng.uniformInt(0, 8) * 10,
+                          rng.uniformInt(1, 32) * 1024};
+            if (req.isZero() || !c.server(id).canFit(req))
+                break;
+            ASSERT_TRUE(c.allocate(id, req));
+        }
+    }
+    ASSERT_TRUE(c.capacityIndex().consistentWith(c.servers()));
+}
+
+struct EquivalenceFixture : ::testing::Test
+{
+    ExecModel exec;
+    OpProfileDb db{exec};
+    CopPredictor cop{db};
+    const ModelZoo &zoo = ModelZoo::shared();
+
+    void
+    runRandomizedCases(const SchedulerConfig &cfg, std::uint64_t seed,
+                       int cases)
+    {
+        GreedyScheduler sched(cop, cfg);
+        Rng rng(seed);
+        const std::vector<const char *> names = {
+            "ResNet-50", "MobileNet", "VGGNet", "LSTM-2365", "TextCNN-69"};
+        const std::vector<int> slos_ms = {50, 100, 200, 500};
+        for (int i = 0; i < cases; ++i) {
+            const auto &model = zoo.get(
+                names[static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(names.size()) - 1))]);
+            auto slo = msToTicks(slos_ms[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(slos_ms.size()) -
+                                   1))]);
+            double rps = rng.uniform(0.5, 3000.0);
+            int max_batch = 1 << rng.uniformInt(0, 5);
+            auto servers = rng.uniformInt(1, 24);
+
+            Cluster base(static_cast<std::size_t>(servers));
+            randomOccupancy(base, rng, 0.4);
+
+            Cluster for_fast = base;
+            Cluster for_naive = base;
+            auto fast =
+                sched.schedule(model, rps, slo, max_batch, for_fast);
+            auto naive = sched.scheduleNaive(model, rps, slo, max_batch,
+                                             for_naive);
+            std::string context =
+                std::string(model.name) + " slo=" + std::to_string(slo) +
+                " rps=" + std::to_string(rps) +
+                " b<=" + std::to_string(max_batch) +
+                " servers=" + std::to_string(servers) +
+                " case=" + std::to_string(i);
+            expectIdenticalPlans(fast, naive, context);
+            // Both trajectories leave the cluster in the same state.
+            EXPECT_EQ(for_fast.totalAllocated(),
+                      for_naive.totalAllocated())
+                << context;
+            EXPECT_TRUE(for_fast.capacityIndex().consistentWith(
+                for_fast.servers()))
+                << context;
+        }
+    }
+};
+
+TEST_F(EquivalenceFixture, DefaultConfig)
+{
+    runRandomizedCases(SchedulerConfig{}, 1234, 60);
+}
+
+TEST_F(EquivalenceFixture, LargestBatchFirst)
+{
+    SchedulerConfig cfg;
+    cfg.largestBatchFirst = true;
+    runRandomizedCases(cfg, 2345, 40);
+}
+
+TEST_F(EquivalenceFixture, ThroughputOnly)
+{
+    SchedulerConfig cfg;
+    cfg.throughputOnly = true;
+    runRandomizedCases(cfg, 3456, 40);
+}
+
+TEST_F(EquivalenceFixture, UncappedEfficiency)
+{
+    SchedulerConfig cfg;
+    cfg.uncappedEfficiency = true;
+    runRandomizedCases(cfg, 4567, 40);
+}
+
+TEST_F(EquivalenceFixture, NoFragmentFloor)
+{
+    SchedulerConfig cfg;
+    cfg.noFragmentFloor = true;
+    runRandomizedCases(cfg, 5678, 40);
+}
+
+TEST_F(EquivalenceFixture, PaperLiteralAlgorithmOne)
+{
+    SchedulerConfig cfg;
+    cfg.largestBatchFirst = true;
+    cfg.uncappedEfficiency = true;
+    cfg.noFragmentFloor = true;
+    runRandomizedCases(cfg, 6789, 40);
+}
+
+TEST_F(EquivalenceFixture, LargeHomogeneousClusterSingleClass)
+{
+    GreedyScheduler sched(cop);
+    const auto &model = zoo.get("ResNet-50");
+    Cluster base(256);
+    EXPECT_EQ(base.capacityIndex().classCount(), 1u);
+
+    Cluster for_fast = base;
+    Cluster for_naive = base;
+    auto fast =
+        sched.schedule(model, 5000.0, msToTicks(200), 32, for_fast);
+    auto naive = sched.scheduleNaive(model, 5000.0, msToTicks(200), 32,
+                                     for_naive);
+    expectIdenticalPlans(fast, naive, "homogeneous-256");
+    EXPECT_FALSE(fast.empty());
+}
+
+} // namespace

@@ -182,4 +182,99 @@ TEST(EventQueueTest, ManyEventsStressOrdering)
     EXPECT_TRUE(monotonic);
 }
 
+TEST(EventQueueTest, FixedEventsRunInOrderWithCancellable)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFixed(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.scheduleFixed(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.pending(), 3u);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, FixedEventsCannotBeCancelled)
+{
+    EventQueue q;
+    int runs = 0;
+    auto id = q.scheduleFixed(10, [&] { ++runs; });
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 1u);
+    q.runAll();
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, FixedSameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFixed(10, [&] { order.push_back(2); }, 1);
+    q.scheduleFixed(10, [&] { order.push_back(1); }, 0);
+    q.schedule(10, [&] { order.push_back(3); }, 2);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EmptyAndPendingTrackMixedKinds)
+{
+    EventQueue q;
+    auto cancellable = q.schedule(10, [] {});
+    q.scheduleFixed(20, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_TRUE(q.cancel(cancellable));
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_FALSE(q.empty());
+    q.runAll();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelledEntriesSkippedAroundFixedOnes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    auto a = q.schedule(10, [&] { order.push_back(1); });
+    q.scheduleFixed(15, [&] { order.push_back(2); });
+    auto b = q.schedule(20, [&] { order.push_back(3); });
+    q.scheduleFixed(25, [&] { order.push_back(4); });
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_TRUE(q.cancel(b));
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{2, 4}));
+    EXPECT_EQ(q.now(), 25);
+}
+
+TEST(EventQueueTest, ReserveDoesNotDisturbPendingEvents)
+{
+    EventQueue q;
+    int runs = 0;
+    q.scheduleFixed(5, [&] { ++runs; });
+    q.reserve(100'000);
+    q.schedule(6, [&] { ++runs; });
+    q.runAll();
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueueTest, ManyFixedEventsStressOrdering)
+{
+    EventQueue q;
+    q.reserve(10'000);
+    Tick last = -1;
+    bool monotonic = true;
+    for (int i = 0; i < 10'000; ++i) {
+        Tick when = (i * 104729) % 997; // pseudo-shuffled times
+        q.scheduleFixed(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    EXPECT_EQ(q.pending(), 10'000u);
+    q.runAll();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(q.executed(), 10'000u);
+}
+
 } // namespace
