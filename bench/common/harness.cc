@@ -146,6 +146,14 @@ runScenario(core::Platform &platform,
     result.completions = m.completions();
     result.drops = m.drops();
     result.launches = m.launches();
+    result.arrivals = m.arrivals();
+    result.crashes = m.serverCrashes();
+    result.retries = m.retries();
+    result.failovers = m.failovers();
+    result.lostBatchRequests = m.lostBatchRequests();
+    result.startupFailures = m.startupFailures();
+    result.availability = platform.clusterAvailability();
+    result.meanRestoreSec = sim::ticksToSec(m.meanRestoreTicks());
     return result;
 }
 

@@ -82,6 +82,18 @@ struct ScenarioResult
     std::int64_t completions = 0;
     std::int64_t drops = 0;
     std::int64_t launches = 0;
+
+    // Failure accounting (all zero when no fault profile is active) -------
+    std::int64_t arrivals = 0;
+    std::int64_t crashes = 0;
+    std::int64_t retries = 0;
+    std::int64_t failovers = 0;
+    std::int64_t lostBatchRequests = 0;
+    std::int64_t startupFailures = 0;
+    /** Fraction of aggregate server-uptime over the run. */
+    double availability = 1.0;
+    /** Mean crash-to-recovery time, seconds (0 if no recovery). */
+    double meanRestoreSec = 0.0;
 };
 
 /**

@@ -9,8 +9,10 @@ CapacityIndex::rebuild(const std::vector<Server> &servers)
 {
     classes_.clear();
     serverCount_ = 0;
-    for (const auto &s : servers)
-        insert(s.id(), s.available());
+    for (const auto &s : servers) {
+        if (!s.isDown())
+            insert(s.id(), s.available());
+    }
 }
 
 void
@@ -31,6 +33,18 @@ CapacityIndex::update(ServerId id, const Resources &before,
     if (it->second.members.empty())
         classes_.erase(it);
     classes_[after].members.insert(id);
+}
+
+void
+CapacityIndex::remove(ServerId id, const Resources &avail)
+{
+    auto it = classes_.find(avail);
+    sim::simAssert(it != classes_.end() && it->second.members.count(id),
+                   "capacity index out of sync for server ", id);
+    it->second.members.erase(id);
+    if (it->second.members.empty())
+        classes_.erase(it);
+    --serverCount_;
 }
 
 ServerId
@@ -83,13 +97,17 @@ CapacityIndex::consistentWith(const std::vector<Server> &servers) const
         for (ServerId id : entry.members) {
             if (id < 0 || static_cast<std::size_t>(id) >= servers.size())
                 return false;
-            if (!(servers[static_cast<std::size_t>(id)].available() ==
-                  avail))
+            const Server &s = servers[static_cast<std::size_t>(id)];
+            if (s.isDown() || !(s.available() == avail))
                 return false;
             ++filed;
         }
     }
-    return filed == servers.size() && serverCount_ == servers.size();
+    // Down servers are unfiled: classes partition the *up* servers only.
+    std::size_t up = 0;
+    for (const auto &s : servers)
+        up += s.isDown() ? 0 : 1;
+    return filed == up && serverCount_ == up;
 }
 
 } // namespace infless::cluster

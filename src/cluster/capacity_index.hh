@@ -49,6 +49,15 @@ class CapacityIndex
     void update(ServerId id, const Resources &before,
                 const Resources &after);
 
+    /**
+     * Unfile a server (crashed machine leaving the placement pool).
+     * Panics if it is not filed under @p avail.
+     */
+    void remove(ServerId id, const Resources &avail);
+
+    /** Re-file a recovered server under its current availability. */
+    void add(ServerId id, const Resources &avail) { insert(id, avail); }
+
     /** Number of distinct available-resource vectors. */
     std::size_t classCount() const { return classes_.size(); }
 

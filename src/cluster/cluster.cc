@@ -116,7 +116,39 @@ Cluster::release(ServerId id, const Resources &req)
     Server &s = serverMut(id);
     Resources before = s.available();
     s.release(req);
-    index_.update(id, before, s.available());
+    // Down servers are unfiled from the index; their availability is
+    // re-filed wholesale on recovery.
+    if (!s.isDown())
+        index_.update(id, before, s.available());
+}
+
+void
+Cluster::setServerDown(ServerId id)
+{
+    Server &s = serverMut(id);
+    if (s.isDown())
+        return;
+    index_.remove(id, s.available());
+    s.markDown();
+}
+
+void
+Cluster::setServerUp(ServerId id)
+{
+    Server &s = serverMut(id);
+    if (!s.isDown())
+        return;
+    s.markUp();
+    index_.add(id, s.available());
+}
+
+std::size_t
+Cluster::downServers() const
+{
+    std::size_t down = 0;
+    for (const auto &s : servers_)
+        down += s.isDown() ? 1 : 0;
+    return down;
 }
 
 ServerId

@@ -74,11 +74,32 @@ class Cluster
     /** Number of servers with at least one allocation. */
     std::size_t activeServers() const;
 
-    /** Allocate @p req on the given server; false if it does not fit. */
+    /** Allocate @p req on the given server; false if it does not fit
+     *  (always false while the server is down). */
     bool allocate(ServerId id, const Resources &req);
 
-    /** Release a previous allocation on the given server. */
+    /** Release a previous allocation on the given server. Legal on a down
+     *  server: the platform returns crashed instances' resources before
+     *  the machine recovers. */
     void release(ServerId id, const Resources &req);
+
+    // Failure state ---------------------------------------------------------
+
+    /**
+     * Take a server offline (fault injection): it leaves the capacity
+     * index, so no placement probe or scheduler pass can select it, and
+     * allocate() refuses until setServerUp(). Idempotent.
+     */
+    void setServerDown(ServerId id);
+
+    /** Bring a crashed server back into the placement pool. Idempotent. */
+    void setServerUp(ServerId id);
+
+    /** Whether the server is currently down. */
+    bool serverDown(ServerId id) const { return server(id).isDown(); }
+
+    /** Number of servers currently down. */
+    std::size_t downServers() const;
 
     /**
      * First-fit probe: the first server that can host @p req.

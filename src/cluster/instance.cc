@@ -90,6 +90,20 @@ Instance::reap(sim::Tick now)
     reapedAt_ = now;
 }
 
+void
+Instance::crash(sim::Tick now)
+{
+    sim::simAssert(state_ != InstanceState::Reaped,
+                   "crash of an already-reaped instance ", id_);
+    if (state_ == InstanceState::Idle)
+        idleTicksAccum_ += now - stateSince_;
+    else if (state_ == InstanceState::Busy)
+        busyTicks_ += now - stateSince_;
+    state_ = InstanceState::Reaped;
+    stateSince_ = now;
+    reapedAt_ = now;
+}
+
 sim::Tick
 Instance::idleTicks(sim::Tick now) const
 {

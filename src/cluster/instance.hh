@@ -84,6 +84,13 @@ class Instance
      *  expiry. */
     void reap(sim::Tick now);
 
+    /**
+     * Transition any live state -> Reaped when the hosting server
+     * crashes. Unlike reap(), a Busy instance may die mid-batch; the
+     * partial busy time is still accounted.
+     */
+    void crash(sim::Tick now);
+
     /** Last time the instance finished work (or became warm). */
     sim::Tick lastActive() const { return lastActive_; }
 

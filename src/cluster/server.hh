@@ -62,8 +62,26 @@ class Server
     /** Currently allocated resources. */
     Resources allocated() const { return capacity_ - available_; }
 
-    /** Whether @p req fits in the unallocated remainder. */
-    bool canFit(const Resources &req) const { return req.fitsIn(available_); }
+    /** Whether @p req fits in the unallocated remainder (false while the
+     *  server is down: a crashed machine hosts nothing new). */
+    bool
+    canFit(const Resources &req) const
+    {
+        return !down_ && req.fitsIn(available_);
+    }
+
+    // Failure state ---------------------------------------------------------
+
+    /** Whether the server is crashed/offline (fault injection). */
+    bool isDown() const { return down_; }
+
+    /** Take the machine offline; canFit()/allocate() refuse until markUp().
+     *  The owning Cluster keeps the capacity index in sync — use
+     *  Cluster::setServerDown(), never this directly. */
+    void markDown() { down_ = true; }
+
+    /** Bring the machine back after repair. */
+    void markUp() { down_ = false; }
 
     /**
      * Reserve @p req.
@@ -108,6 +126,7 @@ class Server
     Resources capacity_;
     Resources available_;
     int allocationCount_ = 0;
+    bool down_ = false;
     /** NaN == "no cached value" (never compares equal to any beta). */
     mutable double weightedBeta_ = std::numeric_limits<double>::quiet_NaN();
     mutable double weightedCache_ = 0.0;

@@ -97,6 +97,21 @@ pickWeighted(const std::vector<double> &weights,
             best = i;
         }
     }
+    if (best != std::numeric_limits<std::size_t>::max())
+        return best;
+    // Last resort: every eligible instance has a zero target rate (e.g.
+    // the rate estimator reads 0 rps right after a lull or a mass
+    // failover). Round-robin over the eligible set by least-served
+    // rather than dropping the request on the floor.
+    double least_served = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (!eligible[i])
+            continue;
+        if (served[i] < least_served) {
+            least_served = served[i];
+            best = i;
+        }
+    }
     return best;
 }
 

@@ -84,7 +84,10 @@ std::vector<double> targetRates(const std::vector<InstanceRateInfo> &infos,
 /**
  * Weighted-round-robin pick: the index minimizing served/weight, i.e. the
  * instance furthest behind its target share. Entries with weight <= 0 or
- * eligible[i] == false are skipped.
+ * eligible[i] == false are skipped. When every eligible entry has a
+ * non-positive weight (all target rates zero), falls back to the
+ * least-served eligible entry instead of failing, so a momentary
+ * all-zero rate plan cannot silently drop traffic.
  *
  * @return Index into @p weights, or SIZE_MAX when nothing is eligible.
  */

@@ -25,6 +25,15 @@ Platform::Platform(cluster::Cluster machines, PlatformOptions opts)
     if (!opts_.keepAlive)
         opts_.keepAlive = coldstart::LsthPolicy::factory();
     scalerHandle_ = sim_.every(opts_.scalerPeriod, [this] { scalerTick(); });
+
+    serverDownSince_.assign(cluster_.size(), sim::kTickNever);
+    if (opts_.faults.enabled()) {
+        faults_ = std::make_unique<faults::FaultInjector>(
+            sim_, opts_.faults, opts_.seed, cluster_.size());
+        faults_->start(faults::FaultInjector::Hooks{
+            [this](cluster::ServerId id) { injectServerCrash(id); },
+            [this](cluster::ServerId id) { injectServerRecovery(id); }});
+    }
 }
 
 Platform::~Platform() = default;
@@ -346,13 +355,16 @@ Platform::routeRequest(FunctionId fn, RequestIndex request)
             idx = pick(true);
     }
     if (idx == std::numeric_limits<std::size_t>::max()) {
-        f.metrics.recordDrop(now);
-        total_.recordDrop(now);
         const RequestRecord &record =
             requests_[static_cast<std::size_t>(request)];
-        if (record.chain != kNoChain) {
-            chains_[static_cast<std::size_t>(record.chain)]
-                .metrics.recordDrop(now);
+        if (record.retried) {
+            // Already lost to a crash once: burn another retry instead
+            // of dropping into a cluster that is still restoring
+            // capacity. Budget exhaustion inside failoverRequest yields
+            // the (single) drop.
+            failoverRequest(fn, request);
+        } else {
+            dropRequest(f, request, now);
         }
         return;
     }
@@ -393,8 +405,11 @@ Platform::startBatch(std::size_t idx)
     int fill = static_cast<int>(batch.size());
     sim::Tick exec_time =
         exec_.trueTicks(*f.model, fill, rt.inst.config().resources);
+    if (faults_)
+        exec_time = faults_->stretchExec(exec_time);
 
     rt.inst.startBatch(now, fill);
+    rt.inFlight.assign(batch.begin(), batch.end());
     f.metrics.recordBatch(fill);
     total_.recordBatch(fill);
     f.usage[rt.usageKey].requestsServed += fill;
@@ -408,10 +423,16 @@ Platform::startBatch(std::size_t idx)
         rt.expiryEvent = sim::kNoEvent;
     }
 
-    sim_.afterFixed(exec_time,
-                    [this, idx, batch = std::move(batch), now, exec_time] {
-                        onBatchComplete(idx, batch, now, exec_time);
-                    });
+    // The completion event is on the non-cancellable fast path; the epoch
+    // guard dead-letters it when a crash kills the instance mid-batch.
+    std::uint32_t epoch = rt.liveEpoch;
+    sim_.afterFixed(
+        exec_time,
+        [this, idx, epoch, batch = std::move(batch), now, exec_time] {
+            if (instances_[idx].liveEpoch != epoch)
+                return; // instance crashed while the batch was running
+            onBatchComplete(idx, batch, now, exec_time);
+        });
 }
 
 void
@@ -419,6 +440,7 @@ Platform::onBatchComplete(std::size_t idx, std::vector<RequestIndex> batch,
                           sim::Tick started, sim::Tick exec_time)
 {
     instances_[idx].inst.finishBatch(sim_.now());
+    instances_[idx].inFlight.clear();
     for (RequestIndex request : batch)
         completeRequest(idx, request, started, exec_time);
 
@@ -461,6 +483,14 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
     metrics::LatencyBreakdown parts{cold, queue_time, exec_time};
     f.metrics.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
     total_.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
+
+    if (record.retried) {
+        // A crash-lost request made it through a re-dispatch: that is a
+        // successful failover.
+        record.retried = false;
+        f.metrics.recordFailover();
+        total_.recordFailover();
+    }
 
     if (record.chain != kNoChain) {
         record.coldAccum += cold;
@@ -620,6 +650,18 @@ Platform::launchInstance(FunctionId fn, const LaunchPlan &plan,
     sim::Tick startup = cold
                             ? runtime_.coldStartTicks(f.model->sizeMb)
                             : runtime_.warmStartTicks();
+    if (cold && faults_) {
+        // Each aborted startup attempt re-enters the cold-start path and
+        // pays the full penalty again; eight consecutive aborts bound the
+        // delay (the draw-until-success would otherwise be unbounded).
+        int aborted = 0;
+        while (aborted < 8 && faults_->startupFails()) {
+            startup += runtime_.coldStartTicks(f.model->sizeMb);
+            f.metrics.recordStartupFailure();
+            total_.recordStartupFailure();
+            ++aborted;
+        }
+    }
     sim::Tick max_wait =
         std::max<sim::Tick>(0, f.spec.sloTicks - plan.execPredicted);
 
@@ -659,16 +701,8 @@ Platform::reapInstance(std::size_t idx)
 
     // Requests stranded in the queue (should not happen on the idle path,
     // but guard anyway) count as drops.
-    for (RequestIndex request : rt.queue.drain()) {
-        f.metrics.recordDrop(now);
-        total_.recordDrop(now);
-        const RequestRecord &record =
-            requests_[static_cast<std::size_t>(request)];
-        if (record.chain != kNoChain) {
-            chains_[static_cast<std::size_t>(record.chain)]
-                .metrics.recordDrop(now);
-        }
-    }
+    for (RequestIndex request : rt.queue.drain())
+        dropRequest(f, request, now);
     if (rt.timeoutEvent != sim::kNoEvent) {
         sim_.events().cancel(rt.timeoutEvent);
         rt.timeoutEvent = sim::kNoEvent;
@@ -690,6 +724,139 @@ Platform::reapInstance(std::size_t idx)
 
     if (f.live.empty())
         maybePrewarm(rt.fn);
+}
+
+void
+Platform::killInstance(std::size_t idx)
+{
+    sim::Tick now = sim_.now();
+    InstanceRuntime &rt = instances_[idx];
+    FunctionId fn = rt.fn;
+    FunctionState &f = functionState(fn);
+
+    // Dead-letter the (non-cancellable) batch-completion event, if any.
+    ++rt.liveEpoch;
+    std::vector<RequestIndex> stranded = rt.queue.drain();
+    std::vector<RequestIndex> inflight = std::move(rt.inFlight);
+    rt.inFlight.clear();
+
+    if (rt.timeoutEvent != sim::kNoEvent) {
+        sim_.events().cancel(rt.timeoutEvent);
+        rt.timeoutEvent = sim::kNoEvent;
+    }
+    if (rt.expiryEvent != sim::kNoEvent) {
+        sim_.events().cancel(rt.expiryEvent);
+        rt.expiryEvent = sim::kNoEvent;
+    }
+
+    rt.inst.crash(now);
+    cluster_.release(rt.inst.serverId(), rt.inst.config().resources);
+    f.allocated -= rt.inst.config().resources;
+    std::erase(f.live, idx);
+
+    f.metrics.recordAllocation(now, f.allocated);
+    f.metrics.recordInstanceCount(now, static_cast<int>(f.live.size()));
+    total_.recordInstanceCount(now, liveInstanceCount());
+    recordAllocationChange();
+
+    if (!inflight.empty()) {
+        f.metrics.recordLostBatch(static_cast<int>(inflight.size()));
+        total_.recordLostBatch(static_cast<int>(inflight.size()));
+    }
+    for (RequestIndex request : inflight)
+        failoverRequest(fn, request);
+    for (RequestIndex request : stranded)
+        failoverRequest(fn, request);
+
+    if (functionState(fn).live.empty())
+        maybePrewarm(fn);
+}
+
+void
+Platform::dropRequest(FunctionState &f, RequestIndex request, sim::Tick now)
+{
+    f.metrics.recordDrop(now);
+    total_.recordDrop(now);
+    const RequestRecord &record =
+        requests_[static_cast<std::size_t>(request)];
+    if (record.chain != kNoChain) {
+        chains_[static_cast<std::size_t>(record.chain)].metrics.recordDrop(
+            now);
+    }
+}
+
+void
+Platform::failoverRequest(FunctionId fn, RequestIndex request)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+    RequestRecord &rec = requests_[static_cast<std::size_t>(request)];
+    const faults::RetryPolicy &rp = opts_.retry;
+    if (!rp.retriesEnabled() || rec.retries >= rp.maxAttempts - 1) {
+        dropRequest(f, request, now);
+        return;
+    }
+    ++rec.retries;
+    rec.retried = true;
+    f.metrics.recordRetry(now);
+    total_.recordRetry(now);
+    // Backoff, then re-enter the ordinary routing path (which may itself
+    // trigger a reactive scale-out onto the surviving servers).
+    sim_.afterFixed(rp.backoff(rec.retries), [this, fn, request] {
+        routeRequest(fn, request);
+    });
+}
+
+void
+Platform::injectServerCrash(cluster::ServerId id)
+{
+    if (cluster_.server(id).isDown())
+        return; // double crash: already down
+    sim::Tick now = sim_.now();
+    cluster_.setServerDown(id);
+    serverDownSince_[static_cast<std::size_t>(id)] = now;
+    total_.recordServerCrash(now);
+
+    std::vector<std::size_t> victims;
+    for (std::size_t idx = 0; idx < instances_.size(); ++idx) {
+        const InstanceRuntime &rt = instances_[idx];
+        if (rt.inst.serverId() == id &&
+            rt.inst.state() != cluster::InstanceState::Reaped)
+            victims.push_back(idx);
+    }
+    for (std::size_t idx : victims)
+        killInstance(idx);
+}
+
+void
+Platform::injectServerRecovery(cluster::ServerId id)
+{
+    if (!cluster_.server(id).isDown())
+        return; // never crashed, or recovered already
+    sim::Tick now = sim_.now();
+    cluster_.setServerUp(id);
+    sim::Tick &since = serverDownSince_[static_cast<std::size_t>(id)];
+    if (since != sim::kTickNever) {
+        serverDownAccum_ += now - since;
+        total_.recordServerRecovery(now - since);
+        since = sim::kTickNever;
+    }
+}
+
+double
+Platform::clusterAvailability() const
+{
+    sim::Tick until = std::max(endTime_, sim_.now());
+    if (until <= 0 || cluster_.size() == 0)
+        return 1.0;
+    sim::Tick down = serverDownAccum_;
+    for (sim::Tick since : serverDownSince_) {
+        if (since != sim::kTickNever && since < until)
+            down += until - since;
+    }
+    double total =
+        static_cast<double>(until) * static_cast<double>(cluster_.size());
+    return 1.0 - static_cast<double>(down) / total;
 }
 
 void

@@ -33,6 +33,8 @@
 #include "core/dispatcher.hh"
 #include "core/scheduler.hh"
 #include "core/types.hh"
+#include "faults/fault_injector.hh"
+#include "faults/retry_policy.hh"
 #include "metrics/collector.hh"
 #include "models/exec_model.hh"
 #include "models/model_zoo.hh"
@@ -79,6 +81,14 @@ struct PlatformOptions
     double reconfigGain = 0.10;
     /** Root random seed. */
     std::uint64_t seed = 1;
+    /**
+     * Injected failure surface (disabled by default: all rates zero). The
+     * fault RNG stream derives from `seed` independently of the workload
+     * streams, so enabling faults never shifts arrival randomness.
+     */
+    faults::FaultProfile faults;
+    /** Failover discipline for requests lost to crashes. */
+    faults::RetryPolicy retry;
 };
 
 /** Launch/served tallies of one instance configuration (Fig. 13). */
@@ -207,6 +217,36 @@ class Platform
     /** Number of deployed chains. */
     std::size_t chainCount() const { return chains_.size(); }
 
+    // Fault control plane ---------------------------------------------------
+
+    /**
+     * Crash a server now: resident instances are killed, their resources
+     * released, pending per-instance timers cancelled, and every queued or
+     * in-flight request is failed over through the retry policy (or
+     * dropped when retries are exhausted/disabled). Idempotent while the
+     * server is down. Usable directly from tests — no fault profile
+     * required.
+     */
+    void injectServerCrash(cluster::ServerId id);
+
+    /**
+     * Recover a crashed server: its capacity rejoins the placement index
+     * and the scheduler can target it again. Idempotent while up.
+     */
+    void injectServerRecovery(cluster::ServerId id);
+
+    /** The fault injector, or nullptr when the profile is disabled. */
+    const faults::FaultInjector *faultInjector() const
+    {
+        return faults_.get();
+    }
+
+    /**
+     * Fraction of aggregate server-uptime over the run so far:
+     * 1 - downtime / (servers x elapsed).
+     */
+    double clusterAvailability() const;
+
   protected:
     /** Runtime state of one instance. */
     struct InstanceRuntime
@@ -233,6 +273,12 @@ class Platform
         sim::EventId expiryEvent = sim::kNoEvent;
         std::size_t usageKey = 0;
         FunctionId fn = kNoFunction;
+        /** Requests of the batch currently executing (failed over when a
+         *  crash kills the instance mid-batch). */
+        std::vector<RequestIndex> inFlight;
+        /** Bumped when the instance is crash-killed: the non-cancellable
+         *  batch-completion event compares it and dead-letters itself. */
+        std::uint32_t liveEpoch = 0;
     };
 
     /** Runtime state of one deployed function. */
@@ -340,6 +386,8 @@ class Platform
     std::size_t launchInstance(FunctionId fn, const LaunchPlan &plan,
                                bool prewarmed_launch);
     void reapInstance(std::size_t idx);
+    /** Crash-kill an instance: fail over its queue and in-flight batch. */
+    void killInstance(std::size_t idx);
     void armTimeout(std::size_t idx);
     void armExpiry(std::size_t idx);
     void maybePrewarm(FunctionId fn);
@@ -350,6 +398,11 @@ class Platform
     void recordAllocationChange();
     void completeRequest(std::size_t idx, RequestIndex request,
                          sim::Tick started, sim::Tick exec_time);
+    /** Account one dropped request (function, total and chain metrics). */
+    void dropRequest(FunctionState &f, RequestIndex request, sim::Tick now);
+    /** Re-dispatch a failure-lost request per the retry policy, or drop
+     *  it when the budget is exhausted (exactly one drop per request). */
+    void failoverRequest(FunctionId fn, RequestIndex request);
     double aggregateRUp(const FunctionState &fn) const;
     std::size_t usageKeyFor(FunctionState &fn,
                             const cluster::InstanceConfig &config);
@@ -384,6 +437,13 @@ class Platform
     cluster::InstanceId nextInstanceId_ = 0;
     sim::Tick endTime_ = 0;
     std::shared_ptr<sim::Simulation::Periodic> scalerHandle_;
+
+    /** Fault injector (null when the profile is disabled). */
+    std::unique_ptr<faults::FaultInjector> faults_;
+    /** Crash start per server; kTickNever while up. */
+    std::vector<sim::Tick> serverDownSince_;
+    /** Completed downtime summed over all servers. */
+    sim::Tick serverDownAccum_ = 0;
 };
 
 } // namespace infless::core

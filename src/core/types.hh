@@ -89,6 +89,12 @@ struct RequestRecord
     sim::Tick coldAccum = 0;
     sim::Tick queueAccum = 0;
     sim::Tick execAccum = 0;
+
+    /** Re-dispatches already consumed after failures (retry budget). */
+    int retries = 0;
+    /** Whether the request was ever re-dispatched (failover accounting:
+     *  set on retry, cleared when the completion is counted). */
+    bool retried = false;
 };
 
 } // namespace infless::core

@@ -1,0 +1,106 @@
+#include "faults/fault_injector.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace infless::faults {
+
+namespace {
+
+/** Stream key separating the fault RNG from every other seed derivation
+ *  (workload feeds use small per-function keys off the root stream). */
+constexpr std::uint64_t kFaultStreamKey = 0xFA17'AB1E'0000'0001ULL;
+
+} // namespace
+
+FaultInjector::FaultInjector(sim::Simulation &sim,
+                             const FaultProfile &profile,
+                             std::uint64_t seed, std::size_t num_servers)
+    : sim_(sim), profile_(profile),
+      startupRng_(sim::hashCombine(seed, kFaultStreamKey)),
+      stragglerRng_(sim::hashCombine(seed, kFaultStreamKey + 1))
+{
+    sim::simAssert(!profile_.crashesEnabled() ||
+                       profile_.serverMttrSec > 0.0,
+                   "server crashes need a positive MTTR");
+    sim::simAssert(profile_.startupFailureProb >= 0.0 &&
+                       profile_.startupFailureProb < 1.0 + 1e-12,
+                   "startup failure probability out of [0,1]");
+    sim::simAssert(profile_.stragglerProb >= 0.0 &&
+                       profile_.stragglerProb <= 1.0,
+                   "straggler probability out of [0,1]");
+    sim::simAssert(profile_.stragglerFactor >= 1.0,
+                   "straggler factor must be >= 1");
+    serverRng_.reserve(num_servers);
+    for (std::size_t s = 0; s < num_servers; ++s)
+        serverRng_.emplace_back(
+            sim::hashCombine(sim::hashCombine(seed, kFaultStreamKey + 2),
+                             static_cast<std::uint64_t>(s)));
+}
+
+void
+FaultInjector::start(Hooks hooks)
+{
+    hooks_ = std::move(hooks);
+    if (!profile_.crashesEnabled())
+        return;
+    for (std::size_t s = 0; s < serverRng_.size(); ++s)
+        scheduleCrash(s);
+}
+
+void
+FaultInjector::scheduleCrash(std::size_t server)
+{
+    double gap_sec =
+        serverRng_[server].exponential(1.0 / profile_.serverMtbfSec);
+    sim::Tick when =
+        sim_.now() + std::max<sim::Tick>(1, sim::secToTicks(gap_sec));
+    if (when > profile_.crashHorizon)
+        return; // past the horizon: this server's crash process ends
+    sim_.atFixed(when, [this, server] { crashServer(server); });
+}
+
+void
+FaultInjector::crashServer(std::size_t server)
+{
+    ++crashes_;
+    auto id = static_cast<cluster::ServerId>(server);
+    if (hooks_.serverCrash)
+        hooks_.serverCrash(id);
+
+    double repair_sec =
+        serverRng_[server].exponential(1.0 / profile_.serverMttrSec);
+    sim::Tick repair = std::max<sim::Tick>(1, sim::secToTicks(repair_sec));
+    sim_.afterFixed(repair, [this, server, id] {
+        ++recoveries_;
+        if (hooks_.serverRecover)
+            hooks_.serverRecover(id);
+        scheduleCrash(server);
+    });
+}
+
+bool
+FaultInjector::startupFails()
+{
+    if (profile_.startupFailureProb <= 0.0)
+        return false;
+    bool fails = startupRng_.bernoulli(profile_.startupFailureProb);
+    if (fails)
+        ++startupFailures_;
+    return fails;
+}
+
+sim::Tick
+FaultInjector::stretchExec(sim::Tick exec_time)
+{
+    if (!profile_.stragglersEnabled())
+        return exec_time;
+    if (!stragglerRng_.bernoulli(profile_.stragglerProb))
+        return exec_time;
+    ++stragglers_;
+    return static_cast<sim::Tick>(static_cast<double>(exec_time) *
+                                  profile_.stragglerFactor);
+}
+
+} // namespace infless::faults

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated cluster.
+ *
+ * Real deployments of the paper's platform (OpenFaaS on Kubernetes) lose
+ * nodes and containers continuously; this module reproduces that failure
+ * surface inside the simulation. Three fault classes are modeled:
+ *
+ *  - **Server crash/recovery**: each server fails after an exponential
+ *    MTBF draw and repairs after an exponential MTTR draw, forever (or
+ *    until `crashHorizon`). The control-plane reaction — killing resident
+ *    instances, releasing resources, failing over requests — lives in
+ *    `core::Platform`; the injector only schedules the events and invokes
+ *    hooks.
+ *  - **Container startup failures**: each cold start aborts with
+ *    probability `startupFailureProb` and re-enters the cold-start path,
+ *    paying the full penalty again.
+ *  - **Transient stragglers**: each batch execution is stretched by
+ *    `stragglerFactor` with probability `stragglerProb` (a slow replica,
+ *    noisy neighbor or thermal event).
+ *
+ * All randomness comes from a dedicated RNG stream derived directly from
+ * the run seed — never from the simulation's root stream — so enabling or
+ * reconfiguring faults cannot perturb workload arrival times or any other
+ * stochastic component. With a disabled profile the injector schedules no
+ * events and draws nothing: a zero-rate run is bit-identical to a run
+ * without the subsystem.
+ */
+
+#ifndef INFLESS_FAULTS_FAULT_INJECTOR_HH
+#define INFLESS_FAULTS_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/server.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "sim/time.hh"
+
+namespace infless::faults {
+
+/** Everything tunable about the injected failure surface. */
+struct FaultProfile
+{
+    /** Mean time between failures of one server, seconds (0 = never). */
+    double serverMtbfSec = 0.0;
+    /** Mean time to repair a crashed server, seconds. */
+    double serverMttrSec = 300.0;
+    /** Probability one cold-start attempt aborts and must restart. */
+    double startupFailureProb = 0.0;
+    /** Probability one batch execution is a straggler. */
+    double stragglerProb = 0.0;
+    /** Execution-time multiplier applied to straggler batches. */
+    double stragglerFactor = 1.0;
+    /**
+     * No new crashes after this tick (recoveries still complete). Bench
+     * runs set this to the trace end so every lost request can finish
+     * its retry chain inside the drain grace period.
+     */
+    sim::Tick crashHorizon = sim::kTickNever;
+
+    bool crashesEnabled() const { return serverMtbfSec > 0.0; }
+
+    bool
+    stragglersEnabled() const
+    {
+        return stragglerProb > 0.0 && stragglerFactor != 1.0;
+    }
+
+    /** Whether any fault class is active. */
+    bool
+    enabled() const
+    {
+        return crashesEnabled() || startupFailureProb > 0.0 ||
+               stragglersEnabled();
+    }
+};
+
+/**
+ * Schedules failure events through the simulation's event queue and
+ * answers per-launch/per-batch fault draws.
+ */
+class FaultInjector
+{
+  public:
+    /** Control-plane reactions to cluster-level fault events. */
+    struct Hooks
+    {
+        std::function<void(cluster::ServerId)> serverCrash;
+        std::function<void(cluster::ServerId)> serverRecover;
+    };
+
+    /**
+     * @param sim Simulation whose clock/event queue drives the faults.
+     * @param profile Failure surface configuration.
+     * @param seed Run seed; the fault stream is derived from it directly
+     *        (not forked from the simulation RNG), so the workload
+     *        streams are untouched.
+     * @param num_servers Cluster size (one crash process per server).
+     */
+    FaultInjector(sim::Simulation &sim, const FaultProfile &profile,
+                  std::uint64_t seed, std::size_t num_servers);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install hooks and schedule the initial per-server crash events. */
+    void start(Hooks hooks);
+
+    const FaultProfile &profile() const { return profile_; }
+
+    bool enabled() const { return profile_.enabled(); }
+
+    /** Draw: does this cold-start attempt abort? */
+    bool startupFails();
+
+    /**
+     * Draw the straggler stretch for one batch: returns @p exec_time
+     * multiplied by the straggler factor when the straggler draw hits,
+     * unchanged otherwise.
+     */
+    sim::Tick stretchExec(sim::Tick exec_time);
+
+    // Accounting -----------------------------------------------------------
+
+    std::int64_t crashesScheduled() const { return crashes_; }
+    std::int64_t recoveriesScheduled() const { return recoveries_; }
+    std::int64_t startupFailureDraws() const { return startupFailures_; }
+    std::int64_t stragglerDraws() const { return stragglers_; }
+
+  private:
+    void scheduleCrash(std::size_t server);
+    void crashServer(std::size_t server);
+
+    sim::Simulation &sim_;
+    FaultProfile profile_;
+    Hooks hooks_;
+
+    /** Per-server crash/repair timing streams (independent of each other
+     *  so one server's history never shifts another's). */
+    std::vector<sim::Rng> serverRng_;
+    sim::Rng startupRng_;
+    sim::Rng stragglerRng_;
+
+    std::int64_t crashes_ = 0;
+    std::int64_t recoveries_ = 0;
+    std::int64_t startupFailures_ = 0;
+    std::int64_t stragglers_ = 0;
+};
+
+} // namespace infless::faults
+
+#endif // INFLESS_FAULTS_FAULT_INJECTOR_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Failover retry policy: bounded attempts with capped exponential
+ * backoff.
+ *
+ * When a server crash loses a request (in the batch queue or mid-batch),
+ * the control plane may re-dispatch it instead of dropping it. The policy
+ * bounds how often and how eagerly: each request gets at most
+ * `maxAttempts` dispatch attempts in total, and the k-th retry waits
+ * `initialBackoff * multiplier^(k-1)` ticks, capped at `maxBackoff` —
+ * the standard gateway retry discipline (jitter is unnecessary here: the
+ * simulator's determinism *is* the point).
+ */
+
+#ifndef INFLESS_FAULTS_RETRY_POLICY_HH
+#define INFLESS_FAULTS_RETRY_POLICY_HH
+
+#include <algorithm>
+
+#include "sim/time.hh"
+
+namespace infless::faults {
+
+/** Re-dispatch discipline for requests lost to a failure. */
+struct RetryPolicy
+{
+    /** Total dispatch attempts per request (1 = never retry). */
+    int maxAttempts = 3;
+    /** Backoff before the first retry. */
+    sim::Tick initialBackoff = 10 * sim::kTicksPerMs;
+    /** Upper bound on any single backoff. */
+    sim::Tick maxBackoff = 2 * sim::kTicksPerSec;
+    /** Growth factor between consecutive backoffs. */
+    double multiplier = 2.0;
+
+    /** Whether lost requests are re-dispatched at all. */
+    bool retriesEnabled() const { return maxAttempts > 1; }
+
+    /** A policy that drops lost requests immediately (no failover). */
+    static RetryPolicy
+    none()
+    {
+        RetryPolicy p;
+        p.maxAttempts = 1;
+        return p;
+    }
+
+    /**
+     * Backoff before retry number @p retry (1-based): capped exponential,
+     * never less than one tick so a retry cannot race the crash handler
+     * that scheduled it.
+     */
+    sim::Tick
+    backoff(int retry) const
+    {
+        double delay = static_cast<double>(initialBackoff);
+        for (int i = 1; i < retry; ++i) {
+            delay *= multiplier;
+            if (delay >= static_cast<double>(maxBackoff))
+                break;
+        }
+        auto ticks = static_cast<sim::Tick>(delay);
+        return std::clamp<sim::Tick>(ticks, 1, maxBackoff);
+    }
+};
+
+} // namespace infless::faults
+
+#endif // INFLESS_FAULTS_RETRY_POLICY_HH

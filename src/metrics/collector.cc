@@ -59,6 +59,50 @@ RunMetrics::recordInstanceCount(sim::Tick now, int count)
     instances_.update(now, static_cast<double>(count));
 }
 
+void
+RunMetrics::recordServerCrash(sim::Tick)
+{
+    ++serverCrashes_;
+}
+
+void
+RunMetrics::recordServerRecovery(sim::Tick restore_ticks)
+{
+    ++serverRecoveries_;
+    restoreTicksSum_ += restore_ticks;
+}
+
+void
+RunMetrics::recordStartupFailure()
+{
+    ++startupFailures_;
+}
+
+void
+RunMetrics::recordRetry(sim::Tick)
+{
+    ++retries_;
+}
+
+void
+RunMetrics::recordFailover()
+{
+    ++failovers_;
+}
+
+void
+RunMetrics::recordLostBatch(int requests)
+{
+    lostBatch_ += requests;
+}
+
+sim::Tick
+RunMetrics::meanRestoreTicks() const
+{
+    return serverRecoveries_ == 0 ? 0
+                                  : restoreTicksSum_ / serverRecoveries_;
+}
+
 double
 RunMetrics::meanBatchFill() const
 {
@@ -153,6 +197,13 @@ RunMetrics::mergeCounters(const RunMetrics &other)
     warmLaunches_ += other.warmLaunches_;
     batches_ += other.batches_;
     batchFillSum_ += other.batchFillSum_;
+    serverCrashes_ += other.serverCrashes_;
+    serverRecoveries_ += other.serverRecoveries_;
+    startupFailures_ += other.startupFailures_;
+    retries_ += other.retries_;
+    failovers_ += other.failovers_;
+    lostBatch_ += other.lostBatch_;
+    restoreTicksSum_ += other.restoreTicksSum_;
     latency_.merge(other.latency_);
     queueTime_.merge(other.queueTime_);
     execTime_.merge(other.execTime_);

@@ -62,6 +62,26 @@ class RunMetrics
     /** The live instance count changed. */
     void recordInstanceCount(sim::Tick now, int count);
 
+    // Failure accounting (fault injection) --------------------------------
+
+    /** A server crashed. */
+    void recordServerCrash(sim::Tick now);
+
+    /** A crashed server recovered after @p restore_ticks of downtime. */
+    void recordServerRecovery(sim::Tick restore_ticks);
+
+    /** A cold-start attempt aborted and restarted. */
+    void recordStartupFailure();
+
+    /** A lost request was re-dispatched (one retry attempt). */
+    void recordRetry(sim::Tick now);
+
+    /** A retried request completed (successful failover). */
+    void recordFailover();
+
+    /** @p requests were mid-batch on an instance killed by a crash. */
+    void recordLostBatch(int requests);
+
     // Raw counters -------------------------------------------------------
 
     std::int64_t arrivals() const { return arrivals_; }
@@ -72,6 +92,16 @@ class RunMetrics
     std::int64_t warmLaunches() const { return warmLaunches_; }
     std::int64_t launches() const { return coldLaunches_ + warmLaunches_; }
     std::int64_t batches() const { return batches_; }
+    std::int64_t serverCrashes() const { return serverCrashes_; }
+    std::int64_t serverRecoveries() const { return serverRecoveries_; }
+    std::int64_t startupFailures() const { return startupFailures_; }
+    std::int64_t retries() const { return retries_; }
+    std::int64_t failovers() const { return failovers_; }
+    std::int64_t lostBatchRequests() const { return lostBatch_; }
+
+    /** Mean crash-to-recovery time (time to restore capacity); 0 when no
+     *  recovery has completed. */
+    sim::Tick meanRestoreTicks() const;
 
     const LatencyHistogram &latency() const { return latency_; }
     const LatencyHistogram &queueTime() const { return queueTime_; }
@@ -129,6 +159,13 @@ class RunMetrics
     std::int64_t warmLaunches_ = 0;
     std::int64_t batches_ = 0;
     std::int64_t batchFillSum_ = 0;
+    std::int64_t serverCrashes_ = 0;
+    std::int64_t serverRecoveries_ = 0;
+    std::int64_t startupFailures_ = 0;
+    std::int64_t retries_ = 0;
+    std::int64_t failovers_ = 0;
+    std::int64_t lostBatch_ = 0;
+    sim::Tick restoreTicksSum_ = 0;
 
     LatencyHistogram latency_;
     LatencyHistogram queueTime_;

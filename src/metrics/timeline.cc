@@ -37,11 +37,26 @@ TimelineSampler::track(const std::string &name, Probe probe)
 }
 
 void
+TimelineSampler::trackCounter(const std::string &name, Probe probe)
+{
+    track(name, std::move(probe));
+    counterLast_[name] = 0.0;
+}
+
+void
 TimelineSampler::sample()
 {
     times_.push_back(sim_.now());
-    for (const auto &name : names_)
-        values_[name].push_back(probes_[name]());
+    for (const auto &name : names_) {
+        double v = probes_[name]();
+        auto counter = counterLast_.find(name);
+        if (counter != counterLast_.end()) {
+            double delta = v - counter->second;
+            counter->second = v;
+            v = delta;
+        }
+        values_[name].push_back(v);
+    }
 }
 
 const std::vector<double> &

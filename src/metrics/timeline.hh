@@ -48,6 +48,16 @@ class TimelineSampler
      */
     void track(const std::string &name, Probe probe);
 
+    /**
+     * Register a counter series: @p probe returns a cumulative count and
+     * the stored sample is the *delta* since the previous sample (the
+     * first sample stores the counter as-is, i.e. the delta from zero).
+     * This is how drop or retry bursts become visible in the timeline —
+     * a cumulative counter plotted directly just ramps monotonically.
+     * Must be called before the first sample fires.
+     */
+    void trackCounter(const std::string &name, Probe probe);
+
     /** Sampling timestamps so far. */
     const std::vector<sim::Tick> &times() const { return times_; }
 
@@ -75,6 +85,8 @@ class TimelineSampler
     sim::Simulation &sim_;
     std::vector<std::string> names_;
     std::map<std::string, Probe> probes_;
+    /** Series registered via trackCounter: previous cumulative value. */
+    std::map<std::string, double> counterLast_;
     std::map<std::string, std::vector<double>> values_;
     std::vector<sim::Tick> times_;
     std::shared_ptr<sim::Simulation::Periodic> handle_;

@@ -157,6 +157,25 @@ TEST(PickWeightedTest, NothingEligibleReturnsSentinel)
               std::numeric_limits<std::size_t>::max());
 }
 
+TEST(PickWeightedTest, AllZeroWeightsFallBackToLeastServed)
+{
+    // Every eligible instance at target rate zero (e.g. the estimator
+    // reads 0 rps right after a lull) must still route: least-served
+    // round-robin, not a silent drop.
+    std::vector<double> weights = {0.0, 0.0, 0.0};
+    std::vector<double> served = {5.0, 2.0, 9.0};
+    std::vector<bool> eligible = {true, true, true};
+    EXPECT_EQ(pickWeighted(weights, served, eligible), 1u);
+
+    // Ineligible entries stay excluded from the fallback.
+    eligible[1] = false;
+    EXPECT_EQ(pickWeighted(weights, served, eligible), 0u);
+
+    // A positive-weight entry still wins outright over the fallback.
+    weights[2] = 10.0;
+    EXPECT_EQ(pickWeighted(weights, served, eligible), 2u);
+}
+
 TEST(PickWeightedTest, LongRunShareMatchesWeights)
 {
     // Simulate 1200 picks; shares should track weights 3:2:1.

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Crash edge cases of the failure-aware control plane: crash mid-startup,
+ * crash of an idle server, double-crash idempotency, retry exhaustion,
+ * recovery, and the zero-rate-profile regression guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/instance.hh"
+#include "core/platform.hh"
+#include "faults/retry_policy.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using infless::cluster::InstanceState;
+using infless::cluster::ServerId;
+using infless::core::FunctionSpec;
+using infless::core::Platform;
+using infless::core::PlatformOptions;
+using infless::faults::RetryPolicy;
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::msToTicks;
+using infless::sim::Tick;
+using infless::workload::uniformArrivals;
+
+FunctionSpec
+resnetSpec(Tick slo = msToTicks(200))
+{
+    FunctionSpec spec;
+    spec.name = "resnet";
+    spec.model = "ResNet-50";
+    spec.sloTicks = slo;
+    return spec;
+}
+
+TEST(PlatformFaultTest, CrashMidStartupKillsColdInstance)
+{
+    Platform p(4);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(50.0, 30 * kTicksPerSec));
+
+    // The default cold start is ~1.5s+: shortly after the first arrival
+    // the reactive scale-out has launched instances that are still cold.
+    p.run(msToTicks(200));
+    auto snapshots = p.instanceSnapshots(fn);
+    ASSERT_FALSE(snapshots.empty());
+    ASSERT_EQ(snapshots[0].state, InstanceState::ColdStarting);
+    ServerId victim = snapshots[0].server;
+    int live_before = p.liveInstanceCount(fn);
+
+    p.injectServerCrash(victim);
+    EXPECT_LT(p.liveInstanceCount(fn), live_before);
+    EXPECT_EQ(p.totalMetrics().serverCrashes(), 1);
+
+    // The pending onWarm event must dead-letter, not revive the corpse.
+    p.run(35 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+    EXPECT_GT(m.completions(), 0);
+}
+
+TEST(PlatformFaultTest, CrashOfIdleServerIsHarmless)
+{
+    Platform p(4);
+    p.deploy(resnetSpec());
+    // No traffic: no server hosts anything. Crashing one must not drop,
+    // retry, or lose anything.
+    p.run(kTicksPerSec);
+    p.injectServerCrash(2);
+    p.run(2 * kTicksPerSec);
+
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(m.serverCrashes(), 1);
+    EXPECT_EQ(m.drops(), 0);
+    EXPECT_EQ(m.retries(), 0);
+    EXPECT_EQ(m.lostBatchRequests(), 0);
+    EXPECT_EQ(p.cluster().downServers(), 1u);
+    EXPECT_LT(p.clusterAvailability(), 1.0);
+}
+
+TEST(PlatformFaultTest, DoubleCrashIsIdempotent)
+{
+    Platform p(4);
+    p.deploy(resnetSpec());
+    p.run(kTicksPerSec);
+
+    p.injectServerCrash(1);
+    p.injectServerCrash(1); // second crash of a down server: no-op
+    EXPECT_EQ(p.totalMetrics().serverCrashes(), 1);
+    EXPECT_EQ(p.cluster().downServers(), 1u);
+
+    p.injectServerRecovery(1);
+    p.injectServerRecovery(1); // double recovery: no-op
+    EXPECT_EQ(p.totalMetrics().serverRecoveries(), 1);
+    EXPECT_EQ(p.cluster().downServers(), 0u);
+
+    // A later, genuine second crash is counted again.
+    p.injectServerCrash(1);
+    EXPECT_EQ(p.totalMetrics().serverCrashes(), 2);
+}
+
+TEST(PlatformFaultTest, RecoveryRestoresCapacity)
+{
+    Platform p(2);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(40.0, kTicksPerMin));
+
+    p.run(5 * kTicksPerSec);
+    p.injectServerCrash(0);
+    p.injectServerCrash(1);
+    EXPECT_EQ(p.liveInstanceCount(), 0);
+    EXPECT_EQ(p.cluster().downServers(), 2u);
+
+    // A real outage takes wall time; time-to-restore must reflect it.
+    p.run(10 * kTicksPerSec);
+    p.injectServerRecovery(0);
+    p.injectServerRecovery(1);
+    EXPECT_EQ(p.cluster().downServers(), 0u);
+    EXPECT_GT(p.totalMetrics().meanRestoreTicks(), 0);
+
+    // With capacity restored the scaler re-provisions and traffic flows.
+    p.run(kTicksPerMin + 10 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.completions(), 0);
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+    EXPECT_GT(p.liveInstanceCount(), 0);
+}
+
+TEST(PlatformFaultTest, RetryExhaustionCountsExactlyOneDrop)
+{
+    PlatformOptions opts;
+    opts.retry.maxAttempts = 2; // one retry per request
+    opts.retry.initialBackoff = msToTicks(10);
+    Platform p(2, opts);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, 20 * kTicksPerSec));
+
+    // Let requests queue, then take the whole cluster down and keep it
+    // down: the in-flight/queued requests retry once, find no capacity,
+    // and must then be dropped exactly once each.
+    p.run(5 * kTicksPerSec);
+    p.injectServerCrash(0);
+    p.injectServerCrash(1);
+    p.run(30 * kTicksPerSec);
+
+    const auto &m = p.totalMetrics();
+    EXPECT_GT(m.retries(), 0);
+    EXPECT_GT(m.drops(), 0);
+    // Conservation is the exactly-once guarantee: a double-counted drop
+    // (or a vanished request) breaks the identity.
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+    // Nothing completed after the crash, so no failovers succeeded.
+    EXPECT_EQ(m.failovers(), 0);
+}
+
+TEST(PlatformFaultTest, RetriesDisabledDropsImmediately)
+{
+    PlatformOptions opts;
+    opts.retry = RetryPolicy::none();
+    Platform p(2, opts);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, 20 * kTicksPerSec));
+
+    p.run(5 * kTicksPerSec);
+    std::int64_t drops_before = p.totalMetrics().drops();
+    p.injectServerCrash(0);
+    p.injectServerCrash(1);
+    // Queued and in-flight requests drop synchronously with the crash.
+    EXPECT_GT(p.totalMetrics().drops(), drops_before);
+    EXPECT_EQ(p.totalMetrics().retries(), 0);
+
+    p.run(30 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+}
+
+TEST(PlatformFaultTest, LostBatchRequestsAreFailedOver)
+{
+    Platform p(2); // default retry policy: 3 attempts
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, kTicksPerMin));
+
+    // Crash while batches are executing: in-flight requests are lost,
+    // failed over, and (on the surviving server) completed.
+    p.run(10 * kTicksPerSec);
+    auto snapshots = p.instanceSnapshots(fn);
+    ASSERT_FALSE(snapshots.empty());
+    p.injectServerCrash(snapshots[0].server);
+    p.run(20 * kTicksPerSec);
+    p.injectServerRecovery(snapshots[0].server);
+    p.run(kTicksPerMin + 10 * kTicksPerSec);
+
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+    EXPECT_GT(m.retries(), 0);
+    EXPECT_GT(m.failovers(), 0);
+    // Successful failovers can't exceed re-dispatches.
+    EXPECT_LE(m.failovers(), m.retries());
+}
+
+TEST(PlatformFaultTest, ZeroRateProfileIsBitIdentical)
+{
+    // The regression guarantee: a fault profile with every rate zero (and
+    // any retry policy) must reproduce the default run bit-for-bit.
+    auto run = [](PlatformOptions opts) {
+        Platform p(4, std::move(opts));
+        auto fn = p.deploy(resnetSpec());
+        p.injectTrace(fn, uniformArrivals(80.0, kTicksPerMin));
+        p.run(kTicksPerMin + 10 * kTicksPerSec);
+        const auto &m = p.totalMetrics();
+        return std::tuple(m.arrivals(), m.completions(), m.drops(),
+                          m.batches(), m.launches(), m.sloViolations(),
+                          m.latency().mean(), m.latency().percentile(99),
+                          m.queueTime().mean(), p.totalLaunches(),
+                          p.meanFragmentRatio());
+    };
+
+    PlatformOptions defaults;
+    PlatformOptions zeroed;
+    zeroed.faults.serverMtbfSec = 0.0;
+    zeroed.faults.startupFailureProb = 0.0;
+    zeroed.faults.stragglerProb = 0.0;
+    zeroed.retry.maxAttempts = 5; // retry config alone must not matter
+
+    EXPECT_EQ(run(defaults), run(zeroed));
+}
+
+TEST(PlatformFaultTest, InjectorDrivenChaosConservesRequests)
+{
+    PlatformOptions opts;
+    opts.faults.serverMtbfSec = 30.0;
+    opts.faults.serverMttrSec = 10.0;
+    opts.faults.startupFailureProb = 0.05;
+    opts.faults.stragglerProb = 0.05;
+    opts.faults.stragglerFactor = 2.0;
+    // No crashes in the last stretch so retry chains can drain.
+    opts.faults.crashHorizon = 2 * kTicksPerMin;
+
+    Platform p(4, opts);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, 2 * kTicksPerMin));
+    p.run(2 * kTicksPerMin + 30 * kTicksPerSec);
+
+    const auto &m = p.totalMetrics();
+    ASSERT_NE(p.faultInjector(), nullptr);
+    EXPECT_GT(m.serverCrashes(), 0);
+    EXPECT_GT(m.serverRecoveries(), 0);
+    EXPECT_GT(m.completions(), 0);
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+    double availability = p.clusterAvailability();
+    EXPECT_GT(availability, 0.0);
+    EXPECT_LT(availability, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the deterministic fault injector: event scheduling,
+ * determinism, horizon handling and RNG stream isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faults/fault_injector.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using infless::cluster::ServerId;
+using infless::faults::FaultInjector;
+using infless::faults::FaultProfile;
+using infless::sim::kTicksPerSec;
+using infless::sim::Simulation;
+using infless::sim::Tick;
+
+struct Recorded
+{
+    std::vector<std::pair<Tick, ServerId>> crashes;
+    std::vector<std::pair<Tick, ServerId>> recoveries;
+};
+
+Recorded
+runInjector(std::uint64_t seed, const FaultProfile &profile,
+            std::size_t servers, Tick until)
+{
+    Simulation sim(seed);
+    FaultInjector injector(sim, profile, seed, servers);
+    Recorded rec;
+    injector.start(FaultInjector::Hooks{
+        [&](ServerId id) { rec.crashes.emplace_back(sim.now(), id); },
+        [&](ServerId id) { rec.recoveries.emplace_back(sim.now(), id); }});
+    sim.runUntil(until);
+    return rec;
+}
+
+FaultProfile
+crashyProfile()
+{
+    FaultProfile profile;
+    profile.serverMtbfSec = 20.0;
+    profile.serverMttrSec = 5.0;
+    return profile;
+}
+
+TEST(FaultProfileTest, EnabledFlags)
+{
+    FaultProfile off;
+    EXPECT_FALSE(off.enabled());
+    EXPECT_FALSE(off.crashesEnabled());
+
+    FaultProfile crash;
+    crash.serverMtbfSec = 100.0;
+    EXPECT_TRUE(crash.enabled());
+
+    FaultProfile startup;
+    startup.startupFailureProb = 0.1;
+    EXPECT_TRUE(startup.enabled());
+    EXPECT_FALSE(startup.crashesEnabled());
+
+    FaultProfile straggler;
+    straggler.stragglerProb = 0.1;
+    straggler.stragglerFactor = 2.0;
+    EXPECT_TRUE(straggler.enabled());
+}
+
+TEST(FaultInjectorTest, DisabledProfileSchedulesNothing)
+{
+    Recorded rec = runInjector(7, FaultProfile{}, 4, 600 * kTicksPerSec);
+    EXPECT_TRUE(rec.crashes.empty());
+    EXPECT_TRUE(rec.recoveries.empty());
+}
+
+TEST(FaultInjectorTest, CrashRecoveryCyclesAlternate)
+{
+    Recorded rec =
+        runInjector(7, crashyProfile(), 4, 600 * kTicksPerSec);
+    ASSERT_FALSE(rec.crashes.empty());
+    ASSERT_FALSE(rec.recoveries.empty());
+    // Every server alternates crash -> recovery -> crash...
+    for (ServerId s = 0; s < 4; ++s) {
+        std::vector<Tick> events;
+        std::vector<bool> is_crash;
+        for (const auto &[t, id] : rec.crashes)
+            if (id == s) {
+                events.push_back(t);
+                is_crash.push_back(true);
+            }
+        for (const auto &[t, id] : rec.recoveries)
+            if (id == s) {
+                events.push_back(t);
+                is_crash.push_back(false);
+            }
+        // Merge-sort by time and check alternation starting with a crash.
+        std::vector<std::size_t> order(events.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return events[a] < events[b];
+                  });
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(is_crash[order[i]], i % 2 == 0)
+                << "server " << s << " event " << i;
+    }
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule)
+{
+    Recorded a = runInjector(42, crashyProfile(), 3, 300 * kTicksPerSec);
+    Recorded b = runInjector(42, crashyProfile(), 3, 300 * kTicksPerSec);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    ASSERT_FALSE(a.crashes.empty());
+
+    Recorded c = runInjector(43, crashyProfile(), 3, 300 * kTicksPerSec);
+    EXPECT_NE(a.crashes, c.crashes);
+}
+
+TEST(FaultInjectorTest, CrashHorizonStopsNewCrashes)
+{
+    FaultProfile profile = crashyProfile();
+    profile.crashHorizon = 100 * kTicksPerSec;
+    Recorded rec = runInjector(7, profile, 4, 600 * kTicksPerSec);
+    ASSERT_FALSE(rec.crashes.empty());
+    for (const auto &[t, id] : rec.crashes)
+        EXPECT_LE(t, profile.crashHorizon);
+    // Recoveries may trail past the horizon (repairs always finish).
+    EXPECT_GE(rec.recoveries.size(), rec.crashes.size() - 4u);
+}
+
+TEST(FaultInjectorTest, FaultStreamDoesNotTouchSimulationRng)
+{
+    // The workload streams fork off the simulation root RNG; constructing
+    // and running an injector must leave that stream bit-identical.
+    auto draws = [](bool with_faults) {
+        Simulation sim(99);
+        std::unique_ptr<FaultInjector> injector;
+        if (with_faults) {
+            FaultProfile profile;
+            profile.serverMtbfSec = 20.0;
+            profile.serverMttrSec = 5.0;
+            profile.startupFailureProb = 0.5;
+            profile.stragglerProb = 0.5;
+            profile.stragglerFactor = 2.0;
+            injector =
+                std::make_unique<FaultInjector>(sim, profile, 99, 4);
+            injector->start({});
+            // Consume fault draws too: they must come from the private
+            // streams, not the root.
+            injector->startupFails();
+            injector->stretchExec(1000);
+            sim.runUntil(60 * kTicksPerSec);
+        }
+        std::vector<std::uint64_t> out;
+        auto rng = sim.forkRng(0x1234);
+        for (int i = 0; i < 8; ++i)
+            out.push_back(
+                static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 30)));
+        return out;
+    };
+    EXPECT_EQ(draws(false), draws(true));
+}
+
+TEST(FaultInjectorTest, StartupAndStragglerDraws)
+{
+    Simulation sim(5);
+    FaultProfile profile;
+    profile.startupFailureProb = 0.5;
+    profile.stragglerProb = 0.5;
+    profile.stragglerFactor = 3.0;
+    FaultInjector injector(sim, profile, 5, 2);
+
+    int failures = 0;
+    for (int i = 0; i < 200; ++i)
+        failures += injector.startupFails() ? 1 : 0;
+    EXPECT_GT(failures, 50);
+    EXPECT_LT(failures, 150);
+    EXPECT_EQ(injector.startupFailureDraws(), failures);
+
+    int stretched = 0;
+    for (int i = 0; i < 200; ++i) {
+        Tick t = injector.stretchExec(1000);
+        EXPECT_TRUE(t == 1000 || t == 3000);
+        stretched += t == 3000 ? 1 : 0;
+    }
+    EXPECT_GT(stretched, 50);
+    EXPECT_LT(stretched, 150);
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the failover retry policy (capped exponential backoff).
+ */
+
+#include <gtest/gtest.h>
+
+#include "faults/retry_policy.hh"
+
+namespace {
+
+using infless::faults::RetryPolicy;
+using infless::sim::kTicksPerMs;
+using infless::sim::kTicksPerSec;
+
+TEST(RetryPolicyTest, DefaultsEnableRetries)
+{
+    RetryPolicy p;
+    EXPECT_TRUE(p.retriesEnabled());
+    EXPECT_EQ(p.maxAttempts, 3);
+}
+
+TEST(RetryPolicyTest, NoneDisablesRetries)
+{
+    RetryPolicy p = RetryPolicy::none();
+    EXPECT_FALSE(p.retriesEnabled());
+    EXPECT_EQ(p.maxAttempts, 1);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyUntilCap)
+{
+    RetryPolicy p;
+    p.initialBackoff = 10 * kTicksPerMs;
+    p.maxBackoff = 2 * kTicksPerSec;
+    p.multiplier = 2.0;
+
+    EXPECT_EQ(p.backoff(1), 10 * kTicksPerMs);
+    EXPECT_EQ(p.backoff(2), 20 * kTicksPerMs);
+    EXPECT_EQ(p.backoff(3), 40 * kTicksPerMs);
+    // 10ms * 2^9 = 5.12s: past the cap.
+    EXPECT_EQ(p.backoff(10), 2 * kTicksPerSec);
+    // Monotone non-decreasing throughout.
+    for (int k = 1; k < 20; ++k)
+        EXPECT_LE(p.backoff(k), p.backoff(k + 1));
+}
+
+TEST(RetryPolicyTest, BackoffNeverBelowOneTick)
+{
+    RetryPolicy p;
+    p.initialBackoff = 0;
+    p.maxBackoff = kTicksPerSec;
+    EXPECT_GE(p.backoff(1), 1);
+    EXPECT_GE(p.backoff(5), 1);
+}
+
+} // namespace

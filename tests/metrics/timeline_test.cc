@@ -70,6 +70,28 @@ TEST(TimelineTest, CsvOutput)
     EXPECT_EQ(os.str(), "time_sec,value\n1,0.5\n2,1\n");
 }
 
+TEST(TimelineTest, CounterSeriesStoresDeltas)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    // A cumulative counter with a burst between samples 2 and 3: the
+    // stored series must show the per-interval deltas (the burst as a
+    // spike), not the monotone ramp.
+    double cumulative = 0.0;
+    sampler.trackCounter("drops", [&] { return cumulative; });
+    sampler.track("raw", [&] { return cumulative; });
+    sim.at(sim.now() + kTicksPerSec / 2, [&] { cumulative = 3.0; });
+    sim.at(sim.now() + 2 * kTicksPerSec + kTicksPerSec / 2,
+           [&] { cumulative = 10.0; });
+    sim.runUntil(4 * kTicksPerSec);
+
+    ASSERT_EQ(sampler.sampleCount(), 4u);
+    EXPECT_EQ(sampler.series("drops"),
+              (std::vector<double>{3.0, 0.0, 7.0, 0.0}));
+    EXPECT_EQ(sampler.series("raw"),
+              (std::vector<double>{3.0, 3.0, 10.0, 10.0}));
+}
+
 TEST(TimelineTest, UnknownSeriesPanics)
 {
     Simulation sim;
