@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/harness.hh"
+#include "common/parallel_sweep.hh"
 #include "metrics/report.hh"
 #include "metrics/timeline.hh"
 
@@ -197,11 +198,18 @@ main(int argc, char **argv)
                      " RPS offered, MTTR " + fmt(cfg.mttrSec, 0) +
                      "s; failure rate x retry policy");
 
-    std::vector<SweepPoint> points;
-    TextTable table({"system", "MTBF", "retries", "availability",
-                     "SLO attainment", "crashes", "retry", "failover",
-                     "lost-batch", "drops", "consistent"});
-    bool all_consistent = true;
+    // Enumerate the grid cells in the historical serial order, then fan
+    // them out: every cell runs an independent platform, and results come
+    // back indexed by cell, so table and JSON rows are byte-identical to
+    // the old nested loop at any thread count.
+    struct Cell
+    {
+        SystemKind kind = SystemKind::Infless;
+        double mtbf = 0.0;
+        bool retries = false;
+        bool withTimeline = false;
+    };
+    std::vector<Cell> cells;
     for (double mtbf : cfg.mtbfs) {
         // Without faults the retry policy is dead code: one row suffices.
         std::vector<bool> retry_choices =
@@ -213,23 +221,33 @@ main(int argc, char **argv)
                 bool with_timeline = kind == SystemKind::Infless &&
                                      retries && mtbf > 0.0 &&
                                      mtbf == cfg.mtbfs.back();
-                SweepPoint p =
-                    runPoint(cfg, kind, mtbf, retries, with_timeline);
-                all_consistent = all_consistent && p.consistent;
-                table.addRow(
-                    {systemName(p.kind), mtbfLabel(p.mtbfSec),
-                     p.retriesOn ? "on" : "off",
-                     fmtPercent(p.result.availability),
-                     fmtPercent(p.sloAttainment()),
-                     std::to_string(p.result.crashes),
-                     std::to_string(p.result.retries),
-                     std::to_string(p.result.failovers),
-                     std::to_string(p.result.lostBatchRequests),
-                     std::to_string(p.result.drops),
-                     p.consistent ? "yes" : "NO"});
-                points.push_back(std::move(p));
+                cells.push_back({kind, mtbf, retries, with_timeline});
             }
         }
+    }
+
+    std::vector<SweepPoint> points =
+        ParallelSweep::map(cells, [&cfg](const Cell &cell) {
+            return runPoint(cfg, cell.kind, cell.mtbf, cell.retries,
+                            cell.withTimeline);
+        });
+
+    TextTable table({"system", "MTBF", "retries", "availability",
+                     "SLO attainment", "crashes", "retry", "failover",
+                     "lost-batch", "drops", "consistent"});
+    bool all_consistent = true;
+    for (const SweepPoint &p : points) {
+        all_consistent = all_consistent && p.consistent;
+        table.addRow({systemName(p.kind), mtbfLabel(p.mtbfSec),
+                      p.retriesOn ? "on" : "off",
+                      fmtPercent(p.result.availability),
+                      fmtPercent(p.sloAttainment()),
+                      std::to_string(p.result.crashes),
+                      std::to_string(p.result.retries),
+                      std::to_string(p.result.failovers),
+                      std::to_string(p.result.lostBatchRequests),
+                      std::to_string(p.result.drops),
+                      p.consistent ? "yes" : "NO"});
     }
     table.print(std::cout);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel_sweep.hh"
+
 #include "baselines/batch_otp.hh"
 #include "baselines/batch_rs.hh"
 #include "baselines/openfaas_plus.hh"
@@ -180,21 +182,26 @@ measureMaxRps(core::Platform &platform,
     return all * (1.0 - m.sloViolationRate());
 }
 
-double
-measureMaxRps(const SystemFactory &factory,
-              const std::vector<std::string> &models, sim::Tick slo,
-              double max_offered_per_fn, sim::Tick duration, int max_batch)
+std::vector<double>
+stressLoadLadder(double max_offered_per_fn)
 {
-    // Find the knee: sweep geometric load levels and report the peak
-    // goodput. Past the knee a system's violations climb and goodput
-    // falls, so two consecutive declines end the sweep.
+    std::vector<double> levels;
+    for (double offered = 250.0; offered <= max_offered_per_fn;
+         offered *= 2.0)
+        levels.push_back(offered);
+    return levels;
+}
+
+double
+kneeFromGoodputs(const std::vector<double> &goodputs)
+{
+    // The knee: past it a system's violations climb and goodput falls,
+    // so two consecutive non-improving levels end the search. Replays
+    // the historical serial loop exactly, including its early break, so
+    // levels past the stop point never influence the result.
     double best = 0.0;
     int declines = 0;
-    for (double offered = 250.0; offered <= max_offered_per_fn;
-         offered *= 2.0) {
-        auto platform = factory();
-        double goodput = measureMaxRps(*platform, models, slo, offered,
-                                       duration, max_batch);
+    for (double goodput : goodputs) {
         if (goodput > best) {
             best = goodput;
             declines = 0;
@@ -203,6 +210,25 @@ measureMaxRps(const SystemFactory &factory,
         }
     }
     return best;
+}
+
+double
+measureMaxRps(const SystemFactory &factory,
+              const std::vector<std::string> &models, sim::Tick slo,
+              double max_offered_per_fn, sim::Tick duration, int max_batch)
+{
+    // Every ladder level probes an independent fresh platform, so the
+    // levels fan out across workers; the knee search then replays the
+    // serial best/two-declines logic over the in-order results. The
+    // parallel version may evaluate levels the serial loop would have
+    // skipped past the knee, but kneeFromGoodputs ignores them.
+    auto goodputs = ParallelSweep::map(
+        stressLoadLadder(max_offered_per_fn), [&](double offered) {
+            auto platform = factory();
+            return measureMaxRps(*platform, models, slo, offered,
+                                 duration, max_batch);
+        });
+    return kneeFromGoodputs(goodputs);
 }
 
 double

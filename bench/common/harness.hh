@@ -108,6 +108,20 @@ ScenarioResult runScenario(core::Platform &platform,
 using SystemFactory = std::function<std::unique_ptr<core::Platform>()>;
 
 /**
+ * The geometric offered-load ladder of the stress sweep: 250, 500, ...
+ * up to @p max_offered_per_fn inclusive.
+ */
+std::vector<double> stressLoadLadder(double max_offered_per_fn);
+
+/**
+ * Replay the serial knee search over per-level goodputs: track the best
+ * value and stop after two consecutive non-improving levels. Kept
+ * separate from the sweep so the levels can be evaluated in parallel
+ * while the reported knee stays bit-identical to the serial loop.
+ */
+double kneeFromGoodputs(const std::vector<double> &goodputs);
+
+/**
  * Stress test (Fig. 11): sweep offered load levels up to
  * @p max_offered_per_fn and report the peak in-SLO goodput (the knee of
  * the goodput curve).
@@ -118,7 +132,11 @@ double measureMaxRps(SystemKind kind,
                      double max_offered_per_fn = 32'000.0,
                      sim::Tick duration = 30 * sim::kTicksPerSec);
 
-/** Knee-finding sweep with a custom platform factory (ablations). */
+/**
+ * Knee-finding sweep with a custom platform factory (ablations). Ladder
+ * levels run concurrently via ParallelSweep, so @p factory must be safe
+ * to call from multiple threads (constructing independent platforms is).
+ */
 double measureMaxRps(const SystemFactory &factory,
                      const std::vector<std::string> &models, sim::Tick slo,
                      double max_offered_per_fn = 32'000.0,

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic fan-out of independent sweep points across threads.
+ *
+ * The bench sweeps (load ladders, MTBF grids, system line-ups) evaluate
+ * many mutually independent grid points, each of which constructs its own
+ * Platform and runs a fully seeded simulation. ParallelSweep::map runs
+ * those points on a pool of workers and stores every result at the index
+ * of its input item, so the output vector is byte-identical to a serial
+ * loop regardless of thread count or scheduling order.
+ *
+ * Requirements on the mapped function: it must be safe to call
+ * concurrently (each grid point builds its own platform; the simulator
+ * core keeps no mutable globals) and its result type must be
+ * default-constructible (results are materialized in place by index).
+ */
+
+#ifndef INFLESS_BENCH_COMMON_PARALLEL_SWEEP_HH
+#define INFLESS_BENCH_COMMON_PARALLEL_SWEEP_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace infless::bench {
+
+class ParallelSweep
+{
+  public:
+    /**
+     * Worker count used when map() is called with threads == 0: the
+     * INFLESS_SWEEP_THREADS environment variable when set to a positive
+     * integer, otherwise hardware_concurrency (at least 1).
+     */
+    static std::size_t defaultThreads()
+    {
+        if (const char *env = std::getenv("INFLESS_SWEEP_THREADS")) {
+            long n = std::strtol(env, nullptr, 10);
+            if (n > 0)
+                return static_cast<std::size_t>(n);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : hw;
+    }
+
+    /**
+     * Apply @p fn to every element of @p items, possibly concurrently,
+     * and return the results in input order.
+     *
+     * @p threads of 0 picks defaultThreads(); 1 runs serially on the
+     * calling thread. The first exception thrown by any invocation is
+     * rethrown on the caller after all workers join.
+     */
+    template <typename Item, typename Fn>
+    static auto map(const std::vector<Item> &items, Fn &&fn,
+                    std::size_t threads = 0)
+        -> std::vector<std::decay_t<decltype(fn(items.front()))>>
+    {
+        using Result = std::decay_t<decltype(fn(items.front()))>;
+        std::vector<Result> results(items.size());
+        if (items.empty())
+            return results;
+
+        if (threads == 0)
+            threads = defaultThreads();
+        threads = std::min(threads, items.size());
+
+        if (threads <= 1) {
+            for (std::size_t i = 0; i < items.size(); ++i)
+                results[i] = fn(items[i]);
+            return results;
+        }
+
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+
+        auto worker = [&] {
+            while (!failed.load(std::memory_order_relaxed)) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= items.size())
+                    return;
+                try {
+                    results[i] = fn(items[i]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+        if (error)
+            std::rethrow_exception(error);
+        return results;
+    }
+};
+
+} // namespace infless::bench
+
+#endif // INFLESS_BENCH_COMMON_PARALLEL_SWEEP_HH

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Simulation-core microbenchmark: event-engine drain throughput and
+ * latency-surface pricing throughput, measured against the pre-overhaul
+ * implementations inside one binary.
+ *
+ * Not a paper figure. The overhaul's acceptance bar is quantitative
+ * (>= 3x event throughput over the legacy std::function queue, >= 5x
+ * exec-model pricing over direct computation), so this binary drives the
+ * same deterministic workload through both engines and both pricing
+ * paths, checks the results are bit-identical, and writes the measured
+ * ratios to BENCH_sim.json. `--smoke` shrinks the workload for CI; the
+ * ASan preset additionally exercises the inline-callable move/destroy
+ * paths under instrumentation.
+ */
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/harness.hh"
+#include "metrics/report.hh"
+#include "models/latency_cache.hh"
+#include "models/model_zoo.hh"
+#include "profiler/op_profile_db.hh"
+#include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace infless;
+using metrics::fmt;
+using metrics::fmtPercent;
+using metrics::printHeading;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Event-engine drain
+// ---------------------------------------------------------------------------
+//
+// The workload mirrors a platform drain, and specifically the
+// dispatcher's batch cycle: every instance keeps two cancellable timers
+// (Platform's per-instance timeoutEvent — an SLO deadline far past the
+// batch window — and the near-term expiryEvent) plus a fixed completion;
+// when the completion runs it cancels both timers — so most cancellable
+// events are scheduled, sifted, and cancelled without ever firing,
+// exactly like the real timer churn, and cancelled far-future deadlines
+// dominate the queue's steady-state population. Every 16th cycle the
+// batch window expires instead: the window timer fires, cancels the
+// deadline, and continues the chain. Closures capture ~60 bytes — the
+// size of Platform's batch-completion lambda, past std::function's
+// inline buffer but within the new queue's.
+
+/** One batch cycle of a simulated instance. */
+template <typename Queue>
+void
+batchCycle(Queue &q, std::uint64_t *checksum,
+           std::array<std::uint64_t, 2> payload, int hops_left,
+           sim::Tick period)
+{
+    *checksum +=
+        payload[0] ^ payload[1] ^ static_cast<std::uint64_t>(q.now());
+    if (hops_left <= 0)
+        return;
+    payload[0] = payload[0] * 0x9e3779b97f4a7c15ULL + 1;
+    payload[1] ^= payload[0] >> 17;
+
+    // SLO timeout: scheduled at the deadline, far past the batch window —
+    // like Platform's per-instance timeoutEvent, it is almost always
+    // cancelled long before it would fire, so cancelled deadline entries
+    // dominate the queue's steady-state population.
+    auto expiry =
+        q.schedule(q.now() + 40 * period + 6, [checksum, payload] {
+            *checksum ^= payload[1];
+        });
+    // Batch-window timer: cancellable, usually cancelled below.
+    auto window = q.schedule(
+        q.now() + period + 2,
+        [&q, checksum, payload, hops_left, period, expiry] {
+            q.cancel(expiry);
+            batchCycle(q, checksum, payload, hops_left - 1, period);
+        });
+    if ((payload[0] & 15) == 0)
+        return; // window expires: the timer continues the chain
+    // Batch dispatched before the window: fixed completion cancels both
+    // timers (the dominant hot path).
+    q.scheduleFixed(q.now() + period,
+                    [&q, checksum, payload, hops_left, period, window,
+                     expiry] {
+                        q.cancel(window);
+                        q.cancel(expiry);
+                        batchCycle(q, checksum, payload, hops_left - 1,
+                                   period);
+                    });
+}
+
+struct DrainResult
+{
+    std::uint64_t events = 0;
+    std::uint64_t checksum = 0;
+    double nsPerEvent = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return nsPerEvent > 0.0 ? 1e9 / nsPerEvent : 0.0;
+    }
+};
+
+/** Drain the benchmark workload once; identical per queue type. */
+template <typename Queue>
+DrainResult
+drainOnce(std::size_t chains, int hops, std::size_t churn)
+{
+    Queue q;
+    q.reserve(chains + churn);
+    std::uint64_t checksum = 0;
+    sim::Rng rng(4242);
+
+    for (std::size_t i = 0; i < chains; ++i) {
+        std::array<std::uint64_t, 2> payload = {rng.raw(), rng.raw()};
+        sim::Tick start = static_cast<sim::Tick>(rng.uniformInt(1, 64));
+        sim::Tick period = static_cast<sim::Tick>(rng.uniformInt(1, 16));
+        q.scheduleFixed(start, [&q, checksum_p = &checksum, payload, hops,
+                                period] {
+            batchCycle(q, checksum_p, payload, hops, period);
+        });
+    }
+    // Cancellation churn: schedule cancellable one-shots, cancel half.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(churn);
+    for (std::size_t i = 0; i < churn; ++i) {
+        sim::Tick when = static_cast<sim::Tick>(rng.uniformInt(1, 512));
+        std::uint64_t tag = rng.raw();
+        ids.push_back(q.schedule(when, [checksum_p = &checksum, tag] {
+            *checksum_p ^= tag;
+        }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        q.cancel(ids[i]);
+
+    auto start = Clock::now();
+    q.runAll();
+    double sec = secondsSince(start);
+
+    DrainResult result;
+    result.events = q.executed();
+    result.checksum = checksum;
+    result.nsPerEvent =
+        result.events == 0 ? 0.0
+                           : 1e9 * sec / static_cast<double>(result.events);
+    return result;
+}
+
+/** Best-of-reps drain (min ns/event; counts and checksum are invariant). */
+template <typename Queue>
+DrainResult
+drainBest(std::size_t chains, int hops, std::size_t churn, int reps)
+{
+    DrainResult best;
+    best.nsPerEvent = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+        DrainResult r = drainOnce<Queue>(chains, hops, churn);
+        if (r.nsPerEvent < best.nsPerEvent)
+            best = r;
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------------
+// Latency-surface pricing
+// ---------------------------------------------------------------------------
+//
+// Prices the full model zoo x batch ladder x profile-grid configuration
+// space repeatedly — the access pattern of the scheduler's candidate
+// enumeration — once directly through ExecModel and once through a
+// LatencyCache, accumulating identical checksums.
+
+struct PricingResult
+{
+    std::uint64_t points = 0;
+    std::uint64_t checksum = 0;
+    double nsPerPoint = 0.0;
+    double hitRate = 0.0;
+};
+
+template <typename PriceFn>
+PricingResult
+priceGrid(int passes, PriceFn &&price)
+{
+    const auto &zoo = models::ModelZoo::shared();
+    profiler::ProfileGrid grid;
+    PricingResult result;
+
+    auto start = Clock::now();
+    for (int pass = 0; pass < passes; ++pass) {
+        for (const auto &model : zoo.all()) {
+            for (std::int64_t cpu : grid.cpuMillicores) {
+                for (std::int64_t gpu : grid.gpuSmPercent) {
+                    cluster::Resources res{cpu, gpu, 0};
+                    for (int batch : grid.batchSizes) {
+                        if (batch > model.maxBatch)
+                            break;
+                        result.checksum +=
+                            static_cast<std::uint64_t>(
+                                price(model, batch, res));
+                        ++result.points;
+                    }
+                }
+            }
+        }
+    }
+    double sec = secondsSince(start);
+    result.nsPerPoint =
+        result.points == 0 ? 0.0
+                           : 1e9 * sec / static_cast<double>(result.points);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    // Workload sizes: ~1M events per drain normally, ~60k in smoke. The
+    // chain count sets the steady-state pending population (a few
+    // thousand, like a platform run's in-flight batches and arrivals);
+    // hops set the drain length.
+    const std::size_t chains = smoke ? 600 : 120'000;
+    const int hops = smoke ? 96 : 8;
+    const std::size_t churn = smoke ? 4'000 : 60'000;
+    const int reps = smoke ? 2 : 3;
+    const int pricing_passes = smoke ? 4 : 40;
+
+    printHeading(std::cout,
+                 std::string("Simulation core: event engine (") +
+                     (smoke ? "smoke" : "full") + " workload)");
+
+    DrainResult legacy =
+        drainBest<sim::LegacyEventQueue>(chains, hops, churn, reps);
+    DrainResult engine =
+        drainBest<sim::EventQueue>(chains, hops, churn, reps);
+    bool drain_match = legacy.checksum == engine.checksum &&
+                       legacy.events == engine.events;
+    double engine_speedup = engine.nsPerEvent > 0.0
+                                ? legacy.nsPerEvent / engine.nsPerEvent
+                                : 0.0;
+
+    std::cout << "  legacy queue: " << fmt(legacy.nsPerEvent, 1)
+              << " ns/event (" << fmt(legacy.eventsPerSec() / 1e6, 2)
+              << " M events/s, " << legacy.events << " events)\n"
+              << "  inline queue: " << fmt(engine.nsPerEvent, 1)
+              << " ns/event (" << fmt(engine.eventsPerSec() / 1e6, 2)
+              << " M events/s)\n"
+              << "  speedup: " << fmt(engine_speedup, 2)
+              << "x  (target >= 3x); identical drains: "
+              << (drain_match ? "yes" : "NO") << "\n";
+
+    printHeading(std::cout, "Simulation core: latency-surface pricing");
+
+    models::ExecModel exec;
+    PricingResult direct = priceGrid(
+        pricing_passes, [&exec](const models::ModelInfo &model, int batch,
+                                const cluster::Resources &res) {
+            return exec.trueTicks(model, batch, res);
+        });
+    models::LatencyCache cache;
+    PricingResult cached = priceGrid(
+        pricing_passes,
+        [&exec, &cache](const models::ModelInfo &model, int batch,
+                        const cluster::Resources &res) {
+            return cache.trueTicks(exec, model, batch, res);
+        });
+    cached.hitRate = cache.stats().hitRate();
+    bool pricing_match = direct.checksum == cached.checksum &&
+                         direct.points == cached.points;
+    double pricing_speedup = cached.nsPerPoint > 0.0
+                                 ? direct.nsPerPoint / cached.nsPerPoint
+                                 : 0.0;
+
+    std::cout << "  direct: " << fmt(direct.nsPerPoint, 1)
+              << " ns/point over " << direct.points << " pricings\n"
+              << "  cached: " << fmt(cached.nsPerPoint, 1)
+              << " ns/point, hit rate " << fmtPercent(cached.hitRate)
+              << " (" << cache.configCount() << " config lines, "
+              << cache.size() << " values)\n"
+              << "  speedup: " << fmt(pricing_speedup, 2)
+              << "x  (target >= 5x); bit-identical: "
+              << (pricing_match ? "yes" : "NO") << "\n";
+
+    std::ofstream out("BENCH_sim.json");
+    out << "{\n"
+        << "  \"benchmark\": \"sim_core\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"event_engine\": {\n"
+        << "    \"events_per_drain\": " << engine.events << ",\n"
+        << "    \"legacy_ns_per_event\": " << legacy.nsPerEvent << ",\n"
+        << "    \"inline_ns_per_event\": " << engine.nsPerEvent << ",\n"
+        << "    \"legacy_events_per_sec\": " << legacy.eventsPerSec()
+        << ",\n"
+        << "    \"inline_events_per_sec\": " << engine.eventsPerSec()
+        << ",\n"
+        << "    \"speedup\": " << engine_speedup << ",\n"
+        << "    \"identical_drains\": " << (drain_match ? "true" : "false")
+        << "\n  },\n"
+        << "  \"pricing\": {\n"
+        << "    \"points\": " << direct.points << ",\n"
+        << "    \"direct_ns_per_point\": " << direct.nsPerPoint << ",\n"
+        << "    \"cached_ns_per_point\": " << cached.nsPerPoint << ",\n"
+        << "    \"speedup\": " << pricing_speedup << ",\n"
+        << "    \"cache_hit_rate\": " << cached.hitRate << ",\n"
+        << "    \"config_lines\": " << cache.configCount() << ",\n"
+        << "    \"bit_identical\": " << (pricing_match ? "true" : "false")
+        << "\n  }\n"
+        << "}\n";
+    std::cout << "  (results written to BENCH_sim.json)\n";
+
+    if (!drain_match || !pricing_match) {
+        std::cerr << "ERROR: fast path diverged from reference\n";
+        return 1;
+    }
+    return 0;
+}

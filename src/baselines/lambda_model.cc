@@ -47,7 +47,7 @@ LambdaModel::invokeTicks(const models::ModelInfo &model,
 {
     if (!canLoad(model, memory_mb))
         return sim::kTickNever;
-    return exec_.trueTicks(model, batch, resourcesFor(memory_mb));
+    return cache_.trueTicks(exec_, model, batch, resourcesFor(memory_mb));
 }
 
 std::int64_t

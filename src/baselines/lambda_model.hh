@@ -19,6 +19,7 @@
 
 #include "cluster/resources.hh"
 #include "models/exec_model.hh"
+#include "models/latency_cache.hh"
 #include "models/model_zoo.hh"
 #include "sim/time.hh"
 
@@ -82,8 +83,16 @@ class LambdaModel
 
     const models::ExecModel &execModel() const { return exec_; }
 
+    /** Hit/miss counters of the invocation-latency memo. */
+    const models::LatencyCacheStats &cacheStats() const
+    {
+        return cache_.stats();
+    }
+
   private:
     models::ExecModel exec_;
+    /** Fig. 2 sweeps re-price (model, memory, batch) points heavily. */
+    mutable models::LatencyCache cache_;
 };
 
 } // namespace infless::baselines

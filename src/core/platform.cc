@@ -185,6 +185,10 @@ Platform::run(sim::Tick until)
 {
     endTime_ = until;
     sim_.runUntil(until);
+    // Surface the memo's effectiveness alongside the run's other
+    // aggregates (idempotent: counters are absolute snapshots).
+    total_.recordExecCache(execCache_.stats().hits,
+                           execCache_.stats().misses);
 }
 
 double
@@ -403,8 +407,8 @@ Platform::startBatch(std::size_t idx)
 
     std::vector<RequestIndex> batch = rt.queue.takeBatch();
     int fill = static_cast<int>(batch.size());
-    sim::Tick exec_time =
-        exec_.trueTicks(*f.model, fill, rt.inst.config().resources);
+    sim::Tick exec_time = execCache_.trueTicks(
+        exec_, *f.model, fill, rt.inst.config().resources);
     if (faults_)
         exec_time = faults_->stretchExec(exec_time);
 
@@ -426,13 +430,18 @@ Platform::startBatch(std::size_t idx)
     // The completion event is on the non-cancellable fast path; the epoch
     // guard dead-letters it when a crash kills the instance mid-batch.
     std::uint32_t epoch = rt.liveEpoch;
-    sim_.afterFixed(
-        exec_time,
+    auto completion =
         [this, idx, epoch, batch = std::move(batch), now, exec_time] {
             if (instances_[idx].liveEpoch != epoch)
                 return; // instance crashed while the batch was running
             onBatchComplete(idx, batch, now, exec_time);
-        });
+        };
+    // The busiest closure of a drain: it must stay on the event queue's
+    // allocation-free inline path.
+    static_assert(
+        sim::EventQueue::Callback::fitsInline<decltype(completion)>,
+        "batch-completion closure outgrew the event queue inline buffer");
+    sim_.afterFixed(exec_time, std::move(completion));
 }
 
 void

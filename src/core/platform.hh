@@ -37,6 +37,7 @@
 #include "faults/retry_policy.hh"
 #include "metrics/collector.hh"
 #include "models/exec_model.hh"
+#include "models/latency_cache.hh"
 #include "models/model_zoo.hh"
 #include "profiler/cop.hh"
 #include "profiler/op_profile_db.hh"
@@ -177,6 +178,9 @@ class Platform
 
     /** Aggregate metrics over all functions. */
     const metrics::RunMetrics &totalMetrics() const { return total_; }
+
+    /** The memoized ground-truth latency surface (hit/miss stats). */
+    const models::LatencyCache &execCache() const { return execCache_; }
 
     /** Metrics of a single function. */
     const metrics::RunMetrics &functionMetrics(FunctionId fn) const;
@@ -420,6 +424,8 @@ class Platform
     cluster::Cluster cluster_;
     const models::ModelZoo &zoo_;
     models::ExecModel exec_;
+    /** Memo in front of exec_.trueTicks — the batch-pricing hot path. */
+    models::LatencyCache execCache_;
     profiler::OpProfileDb profileDb_;
     profiler::CopPredictor predictor_;
     GreedyScheduler scheduler_;

@@ -103,6 +103,22 @@ RunMetrics::meanRestoreTicks() const
                                   : restoreTicksSum_ / serverRecoveries_;
 }
 
+void
+RunMetrics::recordExecCache(std::uint64_t hits, std::uint64_t misses)
+{
+    execCacheHits_ = hits;
+    execCacheMisses_ = misses;
+}
+
+double
+RunMetrics::execCacheHitRate() const
+{
+    std::uint64_t total = execCacheHits_ + execCacheMisses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(execCacheHits_) /
+                            static_cast<double>(total);
+}
+
 double
 RunMetrics::meanBatchFill() const
 {

@@ -82,6 +82,12 @@ class RunMetrics
     /** @p requests were mid-batch on an instance killed by a crash. */
     void recordLostBatch(int requests);
 
+    // Latency-surface cache (simulation engine) ---------------------------
+
+    /** Snapshot the exec-model memo's hit/miss counters (absolute values;
+     *  re-recording overwrites, so repeated run() calls stay correct). */
+    void recordExecCache(std::uint64_t hits, std::uint64_t misses);
+
     // Raw counters -------------------------------------------------------
 
     std::int64_t arrivals() const { return arrivals_; }
@@ -98,6 +104,11 @@ class RunMetrics
     std::int64_t retries() const { return retries_; }
     std::int64_t failovers() const { return failovers_; }
     std::int64_t lostBatchRequests() const { return lostBatch_; }
+    std::uint64_t execCacheHits() const { return execCacheHits_; }
+    std::uint64_t execCacheMisses() const { return execCacheMisses_; }
+
+    /** Fraction of exec-model pricings served from the memo. */
+    double execCacheHitRate() const;
 
     /** Mean crash-to-recovery time (time to restore capacity); 0 when no
      *  recovery has completed. */
@@ -166,6 +177,8 @@ class RunMetrics
     std::int64_t failovers_ = 0;
     std::int64_t lostBatch_ = 0;
     sim::Tick restoreTicksSum_ = 0;
+    std::uint64_t execCacheHits_ = 0;
+    std::uint64_t execCacheMisses_ = 0;
 
     LatencyHistogram latency_;
     LatencyHistogram queueTime_;

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "sim/logging.hh"
-#include "sim/rng.hh"
 
 namespace infless::profiler {
 
@@ -12,9 +11,6 @@ CopPredictor::CopPredictor(OpProfileDb &db, CopOptions options)
 {
     sim::simAssert(options_.safetyOffset >= 0.0,
                    "safety offset must be non-negative");
-    // A model zoo x batch ladder x config grid comfortably fits; avoid
-    // rehashing while the scheduler is warming the memo.
-    memo_.reserve(1024);
 }
 
 std::size_t
@@ -38,23 +34,16 @@ double
 CopPredictor::rawMicros(const models::ModelInfo &model, int batch,
                         const cluster::Resources &res) const
 {
-    std::uint64_t key = model.noiseKey;
-    key = sim::hashCombine(key, static_cast<std::uint64_t>(batch));
-    key = sim::hashCombine(key,
-                           static_cast<std::uint64_t>(res.cpuMillicores));
-    key = sim::hashCombine(key,
-                           static_cast<std::uint64_t>(res.gpuSmPercent));
-    if (auto it = memo_.find(key); it != memo_.end())
-        return it->second;
-
-    double path = model.dag.criticalPath([&](const models::OpNode &op) {
-        return db_.lookupMicros(op, batch, res);
-    });
-    // The per-batch dispatch cost is a platform constant the profiler
-    // measures once; it composes additively.
-    double micros = path + db_.truth().params().batchDispatchUs;
-    memo_.emplace(key, micros);
-    return micros;
+    return memo_.memo(
+        model.noiseKey, res.cpuMillicores, res.gpuSmPercent, batch, [&] {
+            double path =
+                model.dag.criticalPath([&](const models::OpNode &op) {
+                    return db_.lookupMicros(op, batch, res);
+                });
+            // The per-batch dispatch cost is a platform constant the
+            // profiler measures once; it composes additively.
+            return path + db_.truth().params().batchDispatchUs;
+        });
 }
 
 sim::Tick

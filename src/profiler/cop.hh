@@ -13,11 +13,11 @@
 #define INFLESS_PROFILER_COP_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/resources.hh"
 #include "models/exec_model.hh"
+#include "models/latency_cache.hh"
 #include "models/model_zoo.hh"
 #include "profiler/op_profile_db.hh"
 #include "sim/time.hh"
@@ -76,6 +76,12 @@ class CopPredictor
     /** Number of memoized raw predictions. */
     std::size_t memoSize() const { return memo_.size(); }
 
+    /** Hit/miss counters of the prediction memo. */
+    const models::LatencyCacheStats &cacheStats() const
+    {
+        return memo_.stats();
+    }
+
     /**
      * Relative prediction error |pred - truth| / truth of the *raw*
      * estimate against the ground truth surface (Fig. 8's metric).
@@ -87,9 +93,10 @@ class CopPredictor
   private:
     OpProfileDb &db_;
     CopOptions options_;
-    /** Memo of raw predictions keyed by (model, b, c, g); the scheduler
-     *  queries the same configurations thousands of times. */
-    mutable std::unordered_map<std::uint64_t, double> memo_;
+    /** Memo of raw predictions over (model, b, c, g); the scheduler
+     *  queries the same configurations thousands of times. Exact-keyed
+     *  (no hash-collision aliasing) with a flat per-batch array. */
+    mutable models::LatencyCache memo_;
 };
 
 } // namespace infless::profiler

@@ -1,108 +1,21 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-#include <utility>
-
 #include "sim/logging.hh"
 
 namespace infless::sim {
 
-EventId
-EventQueue::push(Tick when, Callback cb, int priority, bool cancellable)
-{
-    if (when < now_) {
-        panic("scheduling into the past: when=", when, " now=", now_);
-    }
-    EventId id = nextId_++;
-    heap_.push_back(Entry{when, priority, id, cancellable, std::move(cb)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    return id;
-}
-
-EventId
-EventQueue::schedule(Tick when, Callback cb, int priority)
-{
-    EventId id = push(when, std::move(cb), priority, true);
-    live_.insert(id);
-    return id;
-}
-
-EventId
-EventQueue::scheduleFixed(Tick when, Callback cb, int priority)
-{
-    EventId id = push(when, std::move(cb), priority, false);
-    ++fixedPending_;
-    return id;
-}
-
-bool
-EventQueue::cancel(EventId id)
-{
-    return live_.erase(id) > 0;
-}
-
-void
-EventQueue::skipDead()
-{
-    // Fixed entries are always live; only cancellable ones need the hash
-    // probe, and only when some cancellable event has ever been dropped.
-    while (!heap_.empty() && heap_.front().cancellable &&
-           !live_.count(heap_.front().id)) {
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        heap_.pop_back();
-    }
-}
-
-bool
-EventQueue::popAndRun()
-{
-    skipDead();
-    if (heap_.empty())
-        return false;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry top = std::move(heap_.back());
-    heap_.pop_back();
-    if (top.cancellable)
-        live_.erase(top.id);
-    else
-        --fixedPending_;
-    now_ = top.when;
-    ++executed_;
-    top.cb();
-    return true;
-}
-
-bool
-EventQueue::runNext()
-{
-    return popAndRun();
-}
-
-std::size_t
-EventQueue::runUntil(Tick until)
-{
-    std::size_t count = 0;
-    for (;;) {
-        skipDead();
-        if (heap_.empty() || heap_.front().when > until)
-            break;
-        if (!popAndRun())
-            break;
-        ++count;
-    }
-    if (until > now_)
-        now_ = until;
-    return count;
-}
-
 std::size_t
 EventQueue::runAll(std::size_t max_events)
 {
+    truncated_ = false;
     std::size_t count = 0;
     while (count < max_events && popAndRun())
         ++count;
-    if (count >= max_events) {
-        panic("event queue failed to drain after ", max_events, " events");
+    if (count >= max_events && !empty()) {
+        truncated_ = true;
+        warn("event queue drain truncated after ", max_events,
+             " events with ", pending_,
+             " still pending (runaway self-rescheduling?)");
     }
     return count;
 }

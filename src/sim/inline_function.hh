@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable.
+ *
+ * The event queue schedules millions of short-lived callbacks per run;
+ * std::function heap-allocates every capture larger than its ~16-byte
+ * internal buffer, which makes the allocator the hottest symbol of a long
+ * drain. InlineFunction stores captures up to Capacity bytes inline (the
+ * platform's largest hot-path lambda — the batch-completion closure — is
+ * 64 bytes) and falls back to the heap only beyond that, so the common
+ * case allocates nothing.
+ *
+ * Move-only on purpose: event callbacks are consumed exactly once, and
+ * copyability would forbid move-only captures.
+ */
+
+#ifndef INFLESS_SIM_INLINE_FUNCTION_HH
+#define INFLESS_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace infless::sim {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction;
+
+/**
+ * Move-only type-erased callable with an inline small-object buffer.
+ *
+ * @tparam R Return type, @tparam Args argument types.
+ * @tparam Capacity Inline storage size in bytes; callables at most this
+ *         large (and no more aligned than std::max_align_t, and nothrow
+ *         move-constructible) are stored without heap allocation.
+ */
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    /** Whether callables of type @p F take the allocation-free path. */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(std::decay_t<F>) <= Capacity &&
+        alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f) // NOLINT: implicit by design, like std::function
+    {
+        construct(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Drop the stored callable (if any). */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /**
+     * Replace the stored callable, constructing the new one directly in
+     * the buffer — no intermediate InlineFunction, no relocation (the
+     * event queue's schedule fast path).
+     */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        reset();
+        construct(std::forward<F>(f));
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        if (!ops_)
+            panic("InlineFunction: calling an empty callable");
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args &&...);
+        /** Move-construct into @p dst from @p src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *buf, Args &&...args) -> R {
+            return (*std::launder(reinterpret_cast<Fn *>(buf)))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) noexcept {
+            Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void *buf) noexcept {
+            std::launder(reinterpret_cast<Fn *>(buf))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *buf, Args &&...args) -> R {
+            return (**std::launder(reinterpret_cast<Fn **>(buf)))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) noexcept {
+            ::new (dst)
+                Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
+        },
+        [](void *buf) noexcept {
+            delete *std::launder(reinterpret_cast<Fn **>(buf));
+        },
+    };
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            // Heap fallback: the buffer holds only the owning pointer.
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace infless::sim
+
+#endif // INFLESS_SIM_INLINE_FUNCTION_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Pre-overhaul discrete-event queue, kept verbatim as a reference.
+ *
+ * This is the engine EventQueue replaced: type-erased std::function
+ * callbacks (heap-allocating for captures beyond ~16 bytes), an
+ * unordered_set for live-id tracking, and id-based tie-breaking. It is
+ * retained for two jobs only:
+ *
+ *  - tests/sim/event_queue_equivalence_test.cc replays randomized
+ *    schedule/cancel/runUntil interleavings against both queues and
+ *    asserts identical execution orders, clocks and counts;
+ *  - bench/sim_core.cc drains the same workload through both engines in
+ *    one binary, so BENCH_sim.json's speedup is measured, not assumed.
+ *
+ * Production code must use sim::EventQueue; nothing under src/ may
+ * include this header.
+ */
+
+#ifndef INFLESS_SIM_LEGACY_EVENT_QUEUE_HH
+#define INFLESS_SIM_LEGACY_EVENT_QUEUE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/time.hh"
+
+namespace infless::sim {
+
+/**
+ * The pre-change event queue (reference semantics for EventQueue).
+ */
+class LegacyEventQueue
+{
+  public:
+    using EventId = std::uint64_t;
+    using Callback = std::function<void()>;
+
+    static constexpr EventId kNoEvent = 0;
+
+    LegacyEventQueue() { heap_.reserve(kDefaultReserve); }
+
+    void reserve(std::size_t n) { heap_.reserve(n); }
+
+    EventId
+    schedule(Tick when, Callback cb, int priority = 0)
+    {
+        EventId id = push(when, std::move(cb), priority, true);
+        live_.insert(id);
+        return id;
+    }
+
+    EventId
+    scheduleFixed(Tick when, Callback cb, int priority = 0)
+    {
+        EventId id = push(when, std::move(cb), priority, false);
+        ++fixedPending_;
+        return id;
+    }
+
+    bool cancel(EventId id) { return live_.erase(id) > 0; }
+
+    Tick now() const { return now_; }
+    bool empty() const { return live_.empty() && fixedPending_ == 0; }
+    std::size_t pending() const { return live_.size() + fixedPending_; }
+
+    bool runNext() { return popAndRun(); }
+
+    std::size_t
+    runUntil(Tick until)
+    {
+        std::size_t count = 0;
+        for (;;) {
+            skipDead();
+            if (heap_.empty() || heap_.front().when > until)
+                break;
+            if (!popAndRun())
+                break;
+            ++count;
+        }
+        if (until > now_)
+            now_ = until;
+        return count;
+    }
+
+    std::size_t
+    runAll(std::size_t max_events = 500'000'000)
+    {
+        std::size_t count = 0;
+        while (count < max_events && popAndRun())
+            ++count;
+        if (count >= max_events) {
+            panic("event queue failed to drain after ", max_events,
+                  " events");
+        }
+        return count;
+    }
+
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    static constexpr std::size_t kDefaultReserve = 1024;
+
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        bool cancellable;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    EventId
+    push(Tick when, Callback cb, int priority, bool cancellable)
+    {
+        if (when < now_) {
+            panic("scheduling into the past: when=", when, " now=", now_);
+        }
+        EventId id = nextId_++;
+        heap_.push_back(Entry{when, priority, id, cancellable,
+                              std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        return id;
+    }
+
+    void
+    skipDead()
+    {
+        while (!heap_.empty() && heap_.front().cancellable &&
+               !live_.count(heap_.front().id)) {
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            heap_.pop_back();
+        }
+    }
+
+    bool
+    popAndRun()
+    {
+        skipDead();
+        if (heap_.empty())
+            return false;
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Entry top = std::move(heap_.back());
+        heap_.pop_back();
+        if (top.cancellable)
+            live_.erase(top.id);
+        else
+            --fixedPending_;
+        now_ = top.when;
+        ++executed_;
+        top.cb();
+        return true;
+    }
+
+    std::vector<Entry> heap_;
+    std::unordered_set<EventId> live_;
+    std::size_t fixedPending_ = 0;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace infless::sim
+
+#endif // INFLESS_SIM_LEGACY_EVENT_QUEUE_HH

@@ -5,11 +5,15 @@
  * panic() flags an internal invariant violation (a bug in this library);
  * fatal() flags a user error (bad configuration or arguments). Both raise
  * exceptions rather than aborting so unit tests can assert on them.
+ * warn() reports a recoverable anomaly on stderr and keeps going; tests
+ * can intercept it through setWarnHandler().
  */
 
 #ifndef INFLESS_SIM_LOGGING_HH
 #define INFLESS_SIM_LOGGING_HH
 
+#include <functional>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -75,6 +79,48 @@ fatal(const Parts &...parts)
     os << "fatal: ";
     detail::appendAll(os, parts...);
     throw FatalError(os.str());
+}
+
+namespace detail {
+
+/** Warning sink; defaults to stderr. Tests may swap it to capture. */
+inline std::function<void(const std::string &)> &
+warnHandler()
+{
+    static std::function<void(const std::string &)> handler =
+        [](const std::string &msg) { std::cerr << msg << "\n"; };
+    return handler;
+}
+
+} // namespace detail
+
+/**
+ * Install a custom warning sink (pass nullptr-like empty to restore the
+ * stderr default). Returns the previous handler.
+ */
+inline std::function<void(const std::string &)>
+setWarnHandler(std::function<void(const std::string &)> handler)
+{
+    auto previous = detail::warnHandler();
+    detail::warnHandler() =
+        handler ? std::move(handler)
+                : [](const std::string &msg) { std::cerr << msg << "\n"; };
+    return previous;
+}
+
+/**
+ * Report a recoverable anomaly and continue.
+ *
+ * @param parts Message fragments, streamed together.
+ */
+template <typename... Parts>
+void
+warn(const Parts &...parts)
+{
+    std::ostringstream os;
+    os << "warn: ";
+    detail::appendAll(os, parts...);
+    detail::warnHandler()(os.str());
 }
 
 /** Assert an invariant, panicking with a message when it does not hold. */

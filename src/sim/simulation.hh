@@ -46,35 +46,44 @@ class Simulation
     /** Derive an independent random substream for a component. */
     Rng forkRng(std::uint64_t key) { return rng_.fork(key); }
 
+    // The scheduling sugar forwards the callable straight through to the
+    // queue's emplacing schedule — a lambda is constructed once, in its
+    // storage slot, with no intermediate Callback.
+
     /** Schedule at an absolute tick. */
+    template <typename F>
     EventId
-    at(Tick when, EventQueue::Callback cb, int priority = 0)
+    at(Tick when, F &&cb, int priority = 0)
     {
-        return events_.schedule(when, std::move(cb), priority);
+        return events_.schedule(when, std::forward<F>(cb), priority);
     }
 
     /** Schedule @p delay ticks from now. */
+    template <typename F>
     EventId
-    after(Tick delay, EventQueue::Callback cb, int priority = 0)
+    after(Tick delay, F &&cb, int priority = 0)
     {
-        return events_.schedule(now() + delay, std::move(cb), priority);
+        return events_.schedule(now() + delay, std::forward<F>(cb),
+                                priority);
     }
 
     /**
      * Schedule at an absolute tick, never-cancelled fast path (the
      * returned id is not cancel()able — see EventQueue::scheduleFixed).
      */
+    template <typename F>
     EventId
-    atFixed(Tick when, EventQueue::Callback cb, int priority = 0)
+    atFixed(Tick when, F &&cb, int priority = 0)
     {
-        return events_.scheduleFixed(when, std::move(cb), priority);
+        return events_.scheduleFixed(when, std::forward<F>(cb), priority);
     }
 
     /** Schedule @p delay ticks from now, never-cancelled fast path. */
+    template <typename F>
     EventId
-    afterFixed(Tick delay, EventQueue::Callback cb, int priority = 0)
+    afterFixed(Tick delay, F &&cb, int priority = 0)
     {
-        return events_.scheduleFixed(now() + delay, std::move(cb),
+        return events_.scheduleFixed(now() + delay, std::forward<F>(cb),
                                      priority);
     }
 
@@ -94,6 +103,9 @@ class Simulation
       private:
         friend class Simulation;
         bool stopped_ = false;
+        /** The user callback lives on the handle so each tick's scheduled
+         *  closure stays small enough for the queue's inline buffer. */
+        std::function<void()> cb_;
     };
 
     /**
@@ -106,7 +118,8 @@ class Simulation
     every(Tick period, std::function<void()> cb, Tick horizon = kTickNever)
     {
         auto handle = std::make_shared<Periodic>();
-        scheduleTick(handle, period, std::move(cb), horizon);
+        handle->cb_ = std::move(cb);
+        scheduleTick(handle, period, horizon);
         return handle;
     }
 
@@ -119,18 +132,18 @@ class Simulation
   private:
     void
     scheduleTick(std::shared_ptr<Periodic> handle, Tick period,
-                 std::function<void()> cb, Tick horizon)
+                 Tick horizon)
     {
         Tick next = now() + period;
         if (next > horizon)
             return;
         // Periodic series stop through the handle, never via cancel().
-        events_.scheduleFixed(next, [this, handle, period, cb, horizon]() {
+        events_.scheduleFixed(next, [this, handle, period, horizon]() {
             if (handle->stopped())
                 return;
-            cb();
+            handle->cb_();
             if (!handle->stopped())
-                scheduleTick(handle, period, cb, horizon);
+                scheduleTick(handle, period, horizon);
         });
     }
 

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * EventQueue vs. LegacyEventQueue equivalence.
+ *
+ * The overhauled engine must preserve the legacy (time, priority,
+ * insertion-order) total order exactly: the tests replay identical
+ * randomized interleavings of schedule / scheduleFixed / cancel /
+ * runNext / runUntil / runAll against both queues and assert identical
+ * execution traces, clocks, and counters. Any ordering regression in the
+ * slot/heap redesign shows up as a trace divergence here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using infless::sim::EventQueue;
+using infless::sim::LegacyEventQueue;
+using infless::sim::Rng;
+using infless::sim::Tick;
+
+/** One executed event, as observed by the callbacks. */
+struct TraceEntry
+{
+    std::uint64_t tag;
+    Tick when;
+
+    bool
+    operator==(const TraceEntry &other) const
+    {
+        return tag == other.tag && when == other.when;
+    }
+};
+
+/**
+ * Drives one queue through a scripted random interleaving, recording the
+ * execution trace. The script is derived purely from the seed, so both
+ * queue types replay the exact same operations in the same order —
+ * including cancels, which target the i-th not-yet-cancelled handle.
+ */
+template <typename Queue>
+struct Driver
+{
+    Queue q;
+    Rng rng;
+    std::vector<TraceEntry> trace;
+    std::vector<std::uint64_t> handles; ///< cancellable, not yet cancelled
+
+    explicit Driver(std::uint64_t seed) : rng(seed) {}
+
+    void
+    scheduleOne(bool fixed)
+    {
+        Tick when = q.now() + rng.uniformInt(0, 50);
+        int priority = static_cast<int>(rng.uniformInt(-2, 2));
+        std::uint64_t tag = rng.raw();
+        auto cb = [this, tag] {
+            trace.push_back(TraceEntry{tag, q.now()});
+            // Nested scheduling from inside a callback, sometimes.
+            if ((tag & 7) == 0) {
+                std::uint64_t nested_tag = tag * 0x9e3779b97f4a7c15ULL;
+                q.scheduleFixed(q.now() + 1 + (tag % 5),
+                                [this, nested_tag] {
+                                    trace.push_back(TraceEntry{
+                                        nested_tag, q.now()});
+                                });
+            }
+        };
+        if (fixed) {
+            q.scheduleFixed(when, cb, priority);
+        } else {
+            handles.push_back(q.schedule(when, cb, priority));
+        }
+    }
+
+    /** One scripted step; mirrors exactly across queue types. */
+    void
+    step()
+    {
+        switch (rng.uniformInt(0, 9)) {
+          case 0:
+          case 1:
+          case 2:
+            scheduleOne(false);
+            break;
+          case 3:
+          case 4:
+          case 5:
+            scheduleOne(true);
+            break;
+          case 6: // cancel a random outstanding handle
+            if (!handles.empty()) {
+                std::size_t i = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(handles.size()) - 1));
+                q.cancel(handles[i]);
+                handles.erase(handles.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            }
+            break;
+          case 7:
+            q.runNext();
+            break;
+          case 8:
+            q.runUntil(q.now() + rng.uniformInt(0, 30));
+            break;
+          case 9: // double-cancel attempt on an already-cancelled id
+            if (!handles.empty()) {
+                std::uint64_t id = handles.back();
+                handles.pop_back();
+                q.cancel(id);
+                q.cancel(id);
+            }
+            break;
+        }
+    }
+};
+
+void
+runEquivalence(std::uint64_t seed, int steps)
+{
+    Driver<LegacyEventQueue> legacy(seed);
+    Driver<EventQueue> engine(seed);
+    for (int i = 0; i < steps; ++i) {
+        legacy.step();
+        engine.step();
+        ASSERT_EQ(legacy.q.now(), engine.q.now())
+            << "clock diverged at step " << i << " (seed " << seed << ")";
+        ASSERT_EQ(legacy.q.pending(), engine.q.pending())
+            << "pending diverged at step " << i << " (seed " << seed
+            << ")";
+    }
+    legacy.q.runAll();
+    engine.q.runAll();
+    EXPECT_EQ(legacy.trace.size(), engine.trace.size());
+    ASSERT_EQ(legacy.trace == engine.trace, true)
+        << "execution traces diverged (seed " << seed << ")";
+    EXPECT_EQ(legacy.q.now(), engine.q.now());
+    EXPECT_EQ(legacy.q.executed(), engine.q.executed());
+    EXPECT_TRUE(engine.q.empty());
+    EXPECT_FALSE(engine.q.truncated());
+}
+
+TEST(EventQueueEquivalenceTest, RandomInterleavingsMatchLegacyTraces)
+{
+    for (std::uint64_t seed = 1; seed <= 24; ++seed)
+        runEquivalence(seed, 400);
+}
+
+TEST(EventQueueEquivalenceTest, LongDrainMatchesLegacy)
+{
+    runEquivalence(977, 5'000);
+}
+
+TEST(EventQueueEquivalenceTest, SameTickTieBreakMatchesLegacy)
+{
+    // Dense same-tick scheduling stresses the (priority, insertion-order)
+    // tie-break specifically.
+    LegacyEventQueue legacy;
+    EventQueue engine;
+    std::vector<int> legacy_order;
+    std::vector<int> engine_order;
+    Rng rng(55);
+    for (int i = 0; i < 500; ++i) {
+        Tick when = rng.uniformInt(0, 3);
+        int priority = static_cast<int>(rng.uniformInt(-1, 1));
+        bool fixed = rng.bernoulli(0.5);
+        if (fixed) {
+            legacy.scheduleFixed(when, [&, i] { legacy_order.push_back(i); },
+                                 priority);
+            engine.scheduleFixed(when, [&, i] { engine_order.push_back(i); },
+                                 priority);
+        } else {
+            legacy.schedule(when, [&, i] { legacy_order.push_back(i); },
+                            priority);
+            engine.schedule(when, [&, i] { engine_order.push_back(i); },
+                            priority);
+        }
+    }
+    legacy.runAll();
+    engine.runAll();
+    EXPECT_EQ(legacy_order, engine_order);
+}
+
+} // namespace

@@ -155,14 +155,56 @@ TEST(EventQueueTest, ExecutedCountsLifetimeEvents)
     EXPECT_EQ(q.executed(), 7u);
 }
 
-TEST(EventQueueTest, RunAllPanicsOnRunawaySelfRescheduling)
+TEST(EventQueueTest, RunAllReportsTruncationOnRunawaySelfRescheduling)
 {
     EventQueue q;
     std::function<void()> forever = [&] {
         q.schedule(q.now() + 1, forever);
     };
     q.schedule(0, forever);
-    EXPECT_THROW(q.runAll(1000), PanicError);
+
+    std::vector<std::string> warnings;
+    auto previous = infless::sim::setWarnHandler(
+        [&](const std::string &msg) { warnings.push_back(msg); });
+    EXPECT_EQ(q.runAll(1000), 1000u);
+    infless::sim::setWarnHandler(previous);
+
+    EXPECT_TRUE(q.truncated());
+    EXPECT_FALSE(q.empty()) << "the runaway event must still be pending";
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("truncated"), std::string::npos);
+}
+
+TEST(EventQueueTest, RunAllOfExactlyMaxEventsIsACleanDrain)
+{
+    // The legacy engine could not tell "drained in exactly max_events"
+    // from "stopped at the valve"; the flag distinguishes them.
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(i, [] {});
+    EXPECT_EQ(q.runAll(10), 10u);
+    EXPECT_FALSE(q.truncated());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TruncatedFlagResetsOnNextRunAll)
+{
+    EventQueue q;
+    std::function<void()> forever = [&] {
+        q.schedule(q.now() + 1, forever);
+    };
+    q.schedule(0, forever);
+    auto previous = infless::sim::setWarnHandler([](const std::string &) {});
+    q.runAll(100);
+    EXPECT_TRUE(q.truncated());
+    q.runAll(100);
+    infless::sim::setWarnHandler(previous);
+    EXPECT_TRUE(q.truncated()); // still runaway
+    // A queue that then drains cleanly clears the flag.
+    EventQueue clean;
+    clean.schedule(5, [] {});
+    clean.runAll();
+    EXPECT_FALSE(clean.truncated());
 }
 
 TEST(EventQueueTest, ManyEventsStressOrdering)

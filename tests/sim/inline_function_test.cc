@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the small-buffer-optimized callable.
+ *
+ * Exercises the inline path, the heap fallback, move semantics, and
+ * destruction exactly once per stored callable — the paths the ASan CI
+ * preset watches for leaks and use-after-move.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_function.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using infless::sim::InlineFunction;
+using infless::sim::PanicError;
+
+using Fn = InlineFunction<void(), 64>;
+using IntFn = InlineFunction<int(int), 64>;
+
+TEST(InlineFunctionTest, DefaultConstructedIsEmpty)
+{
+    Fn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_THROW(fn(), PanicError);
+}
+
+TEST(InlineFunctionTest, InvokesStoredCallable)
+{
+    int calls = 0;
+    Fn fn = [&calls] { ++calls; };
+    EXPECT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, ForwardsArgumentsAndReturn)
+{
+    IntFn fn = [](int x) { return x * 3; };
+    EXPECT_EQ(fn(14), 42);
+}
+
+TEST(InlineFunctionTest, SmallCapturesFitInline)
+{
+    auto small = [a = std::uint64_t{1}, b = std::uint64_t{2}] {
+        (void)a;
+        (void)b;
+    };
+    static_assert(Fn::fitsInline<decltype(small)>);
+    auto boundary = [payload = std::array<std::uint64_t, 8>{}] {
+        (void)payload;
+    };
+    static_assert(sizeof(boundary) == 64);
+    static_assert(Fn::fitsInline<decltype(boundary)>);
+}
+
+TEST(InlineFunctionTest, LargeCapturesUseHeapFallback)
+{
+    std::array<std::uint64_t, 12> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i + 1;
+    auto large = [payload] { return payload; };
+    static_assert(sizeof(large) > 64);
+    static_assert(!Fn::fitsInline<decltype(large)>);
+
+    InlineFunction<std::array<std::uint64_t, 12>(), 64> fn =
+        std::move(large);
+    auto result = fn();
+    EXPECT_EQ(result[0], 1u);
+    EXPECT_EQ(result[11], 12u);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership)
+{
+    int calls = 0;
+    Fn a = [&calls] { ++calls; };
+    Fn b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT: testing moved-from state
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunctionTest, MoveAssignDropsPreviousCallable)
+{
+    int first = 0;
+    int second = 0;
+    Fn fn = [&first] { ++first; };
+    fn = Fn([&second] { ++second; });
+    fn();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapturesWork)
+{
+    auto ptr = std::make_unique<int>(7);
+    InlineFunction<int(), 64> fn = [p = std::move(ptr)] { return *p; };
+    EXPECT_EQ(fn(), 7);
+    InlineFunction<int(), 64> moved = std::move(fn);
+    EXPECT_EQ(moved(), 7);
+}
+
+TEST(InlineFunctionTest, DestroysCapturesExactlyOnce)
+{
+    // Counts live copies via a shared_ptr: when every InlineFunction
+    // holding the capture is gone, use_count drops back to 1.
+    auto tracker = std::make_shared<int>(0);
+    {
+        Fn a = [tracker] { (void)tracker; };
+        EXPECT_EQ(tracker.use_count(), 2);
+        Fn b = std::move(a);
+        EXPECT_EQ(tracker.use_count(), 2);
+        b.reset();
+        EXPECT_EQ(tracker.use_count(), 1);
+    }
+    EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, HeapFallbackDestroysExactlyOnce)
+{
+    auto tracker = std::make_shared<int>(0);
+    std::array<std::uint64_t, 16> pad{};
+    auto big = [tracker, pad] { (void)tracker, (void)pad; };
+    static_assert(!Fn::fitsInline<decltype(big)>);
+    {
+        Fn a = std::move(big);
+        EXPECT_EQ(tracker.use_count(), 2);
+        Fn b = std::move(a);
+        Fn c;
+        c = std::move(b);
+        EXPECT_EQ(tracker.use_count(), 2);
+    }
+    EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, ResetOnEmptyIsANoOp)
+{
+    Fn fn;
+    fn.reset();
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+} // namespace
