@@ -13,7 +13,9 @@
  *
  * Emits BENCH_chaos.json plus a per-second drop/retry timeline
  * (chaos_timeline.csv) for one crashy INFless run. `--smoke` shrinks the
- * sweep for CI.
+ * sweep for CI. `--trace` additionally records the full request
+ * lifecycle of that run and writes a Perfetto/chrome-tracing-loadable
+ * trace.json.
  */
 
 #include <cstring>
@@ -80,15 +82,21 @@ optionsFor(const SweepConfig &cfg, double mtbf_sec, bool retries)
 
 SweepPoint
 runPoint(const SweepConfig &cfg, SystemKind kind, double mtbf_sec,
-         bool retries, bool with_timeline)
+         bool retries, bool with_timeline, bool with_trace)
 {
     SweepPoint point;
     point.kind = kind;
     point.mtbfSec = mtbf_sec;
     point.retriesOn = retries;
 
-    auto platform =
-        makeSystem(kind, cfg.servers, optionsFor(cfg, mtbf_sec, retries));
+    core::PlatformOptions opts = optionsFor(cfg, mtbf_sec, retries);
+    if (with_trace) {
+        // Full-rate tracing of the demo run; the ring keeps the last
+        // 128Ki spans, plenty for the smoke config.
+        opts.obs.trace.sampleRate = 1.0;
+        opts.obs.trace.capacity = std::size_t{1} << 17;
+    }
+    auto platform = makeSystem(kind, cfg.servers, std::move(opts));
     auto workloads = osvtWorkload(cfg.rpsPerFn, cfg.duration);
 
     std::unique_ptr<metrics::TimelineSampler> sampler;
@@ -117,6 +125,10 @@ runPoint(const SweepConfig &cfg, SystemKind kind, double mtbf_sec,
         sampler->stop();
         std::ofstream csv("chaos_timeline.csv");
         sampler->writeCsv(csv);
+    }
+    if (with_trace) {
+        std::ofstream ofs("trace.json");
+        platform->tracer().writeChromeTrace(ofs);
     }
     return point;
 }
@@ -162,6 +174,7 @@ writeBenchJson(const SweepConfig &cfg,
             << ", \"failovers\": " << r.failovers
             << ", \"lost_batch_requests\": " << r.lostBatchRequests
             << ", \"mean_restore_sec\": " << r.meanRestoreSec
+            << ", \"truncated\": " << (r.truncated ? "true" : "false")
             << ", \"consistent\": " << (p.consistent ? "true" : "false")
             << "}" << (i + 1 < points.size() ? "," : "") << "\n";
     }
@@ -176,9 +189,12 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool trace = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        if (std::strcmp(argv[i], "--trace") == 0)
+            trace = true;
     }
 
     SweepConfig cfg;
@@ -208,6 +224,7 @@ main(int argc, char **argv)
         double mtbf = 0.0;
         bool retries = false;
         bool withTimeline = false;
+        bool withTrace = false;
     };
     std::vector<Cell> cells;
     for (double mtbf : cfg.mtbfs) {
@@ -221,7 +238,8 @@ main(int argc, char **argv)
                 bool with_timeline = kind == SystemKind::Infless &&
                                      retries && mtbf > 0.0 &&
                                      mtbf == cfg.mtbfs.back();
-                cells.push_back({kind, mtbf, retries, with_timeline});
+                cells.push_back({kind, mtbf, retries, with_timeline,
+                                 with_timeline && trace});
             }
         }
     }
@@ -229,7 +247,7 @@ main(int argc, char **argv)
     std::vector<SweepPoint> points =
         ParallelSweep::map(cells, [&cfg](const Cell &cell) {
             return runPoint(cfg, cell.kind, cell.mtbf, cell.retries,
-                            cell.withTimeline);
+                            cell.withTimeline, cell.withTrace);
         });
 
     TextTable table({"system", "MTBF", "retries", "availability",

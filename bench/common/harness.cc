@@ -1,6 +1,9 @@
 #include "common/harness.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
 
 #include "common/parallel_sweep.hh"
 
@@ -156,7 +159,55 @@ runScenario(core::Platform &platform,
     result.startupFailures = m.startupFailures();
     result.availability = platform.clusterAvailability();
     result.meanRestoreSec = sim::ticksToSec(m.meanRestoreTicks());
+    result.truncated = platform.simulation().events().truncated();
+    result.execCacheHits =
+        static_cast<std::int64_t>(m.execCacheHits());
+    result.execCacheMisses =
+        static_cast<std::int64_t>(m.execCacheMisses());
+
+    if (telemetryEnabled())
+        writeTelemetryFiles(buildTelemetry(platform, platform.name()));
     return result;
+}
+
+bool
+telemetryEnabled()
+{
+    const char *env = std::getenv("INFLESS_TELEMETRY");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+obs::TelemetryRegistry
+buildTelemetry(const core::Platform &platform, const std::string &benchmark)
+{
+    obs::TelemetryRegistry telemetry;
+    sim::Tick end = platform.endTime();
+    telemetry.setRun(benchmark, platform.options().seed,
+                     sim::ticksToSec(end));
+    telemetry.setTruncated(platform.simulation().events().truncated());
+    telemetry.addRunMetrics(platform.totalMetrics());
+    telemetry.addOverheads(platform.overheads());
+    telemetry.gauge("cluster_availability", platform.clusterAvailability(),
+                    "Fraction of aggregate server-uptime over the run");
+    telemetry.gauge("mean_fragment_ratio", platform.meanFragmentRatio(),
+                    "Time-weighted mean resource fragmentation");
+    return telemetry;
+}
+
+void
+writeTelemetryFiles(const obs::TelemetryRegistry &telemetry,
+                    const std::string &json_path,
+                    const std::string &prom_path)
+{
+    // ParallelSweep runs scenarios concurrently; last writer wins, but
+    // each file stays internally consistent.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::ofstream json(json_path);
+    telemetry.writeJson(json);
+    std::ofstream prom(prom_path);
+    telemetry.writePrometheus(prom);
 }
 
 double

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/platform.hh"
+#include "obs/telemetry.hh"
 #include "workload/azure_synth.hh"
 #include "workload/trace.hh"
 
@@ -94,15 +95,49 @@ struct ScenarioResult
     double availability = 1.0;
     /** Mean crash-to-recovery time, seconds (0 if no recovery). */
     double meanRestoreSec = 0.0;
+
+    // Run health -----------------------------------------------------------
+    /** Whether the event engine hit its safety cap (results suspect). */
+    bool truncated = false;
+    /** Latency-memo effectiveness of the batch-pricing hot path. */
+    std::int64_t execCacheHits = 0;
+    std::int64_t execCacheMisses = 0;
 };
 
 /**
  * Deploy @p workloads on @p platform, run to the longest trace end plus
  * @p grace, and summarize.
+ *
+ * When telemetry export is active (INFLESS_TELEMETRY=1 in the
+ * environment), a full telemetry snapshot of the platform is also
+ * written to telemetry.json + metrics.prom in the working directory.
  */
 ScenarioResult runScenario(core::Platform &platform,
                            const std::vector<WorkloadSpec> &workloads,
                            sim::Tick grace = 10 * sim::kTicksPerSec);
+
+// Telemetry export ----------------------------------------------------------
+
+/** Whether INFLESS_TELEMETRY=1 (or any non-"0" value) is set. */
+bool telemetryEnabled();
+
+/**
+ * Snapshot a finished platform run into a TelemetryRegistry: run
+ * metadata, the RunMetrics counter/gauge/histogram set, controller
+ * overhead histograms, and platform-level gauges (availability,
+ * fragmentation).
+ */
+obs::TelemetryRegistry buildTelemetry(const core::Platform &platform,
+                                      const std::string &benchmark);
+
+/**
+ * Write @p telemetry to @p json_path (schema-versioned JSON) and
+ * @p prom_path (Prometheus text exposition). Serialized across threads
+ * so concurrent ParallelSweep scenarios do not interleave writes.
+ */
+void writeTelemetryFiles(const obs::TelemetryRegistry &telemetry,
+                         const std::string &json_path = "telemetry.json",
+                         const std::string &prom_path = "metrics.prom");
 
 /** Factory producing a fresh platform per stress probe. */
 using SystemFactory = std::function<std::unique_ptr<core::Platform>()>;

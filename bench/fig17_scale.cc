@@ -380,5 +380,35 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "  (paper: INFless ~15%, lowest of the four; BATCH+RS "
                  "below BATCH, isolating the placement algorithm)\n";
+
+    printHeading(std::cout,
+                 "Controller overhead profile: wall-clock cost of the "
+                 "scheduler / COP / autoscaler / keep-alive decisions "
+                 "over one profiled OSVT run");
+    {
+        core::PlatformOptions opts;
+        opts.obs.profiling = true;
+        core::Platform platform(8, std::move(opts));
+        auto workloads = osvtWorkload(120.0, 20 * sim::kTicksPerSec);
+        runScenario(platform, workloads);
+
+        const obs::OverheadProfiler &prof = platform.overheads();
+        TextTable overhead({"phase", "calls", "mean (us)", "p50 (us)",
+                            "p99 (us)", "total (ms)"});
+        for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+            auto phase = static_cast<obs::Phase>(i);
+            obs::PhaseStats stats = prof.stats(phase);
+            overhead.addRow({obs::phaseName(phase),
+                             std::to_string(stats.count),
+                             fmt(stats.meanUs, 1), fmt(stats.p50Us, 1),
+                             fmt(stats.p99Us, 1),
+                             fmt(stats.totalUs / 1000.0, 2)});
+        }
+        overhead.print(std::cout);
+
+        writeTelemetryFiles(buildTelemetry(platform, "fig17_scale"));
+        std::cout << "  (full snapshot in telemetry.json / "
+                     "metrics.prom)\n";
+    }
     return 0;
 }

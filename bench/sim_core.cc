@@ -111,6 +111,9 @@ struct DrainResult
     std::uint64_t events = 0;
     std::uint64_t checksum = 0;
     double nsPerEvent = 0.0;
+    /** Whether the drain hit the runAll safety cap (legacy queue does
+     *  not report it; stays false there). */
+    bool truncated = false;
 
     double
     eventsPerSec() const
@@ -158,6 +161,8 @@ drainOnce(std::size_t chains, int hops, std::size_t churn)
     DrainResult result;
     result.events = q.executed();
     result.checksum = checksum;
+    if constexpr (requires { q.truncated(); })
+        result.truncated = q.truncated();
     result.nsPerEvent =
         result.events == 0 ? 0.0
                            : 1e9 * sec / static_cast<double>(result.events);
@@ -320,6 +325,8 @@ main(int argc, char **argv)
         << ",\n"
         << "    \"speedup\": " << engine_speedup << ",\n"
         << "    \"identical_drains\": " << (drain_match ? "true" : "false")
+        << ",\n"
+        << "    \"truncated\": " << (engine.truncated ? "true" : "false")
         << "\n  },\n"
         << "  \"pricing\": {\n"
         << "    \"points\": " << direct.points << ",\n"
@@ -327,6 +334,8 @@ main(int argc, char **argv)
         << "    \"cached_ns_per_point\": " << cached.nsPerPoint << ",\n"
         << "    \"speedup\": " << pricing_speedup << ",\n"
         << "    \"cache_hit_rate\": " << cached.hitRate << ",\n"
+        << "    \"cache_hits\": " << cache.stats().hits << ",\n"
+        << "    \"cache_misses\": " << cache.stats().misses << ",\n"
         << "    \"config_lines\": " << cache.configCount() << ",\n"
         << "    \"bit_identical\": " << (pricing_match ? "true" : "false")
         << "\n  }\n"

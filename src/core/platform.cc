@@ -24,6 +24,9 @@ Platform::Platform(cluster::Cluster machines, PlatformOptions opts)
 {
     if (!opts_.keepAlive)
         opts_.keepAlive = coldstart::LsthPolicy::factory();
+    tracer_.configure(opts_.obs.trace);
+    prof_.setEnabled(opts_.obs.profiling);
+    scheduler_.setProfiler(&prof_);
     scalerHandle_ = sim_.every(opts_.scalerPeriod, [this] { scalerTick(); });
 
     serverDownSince_.assign(cluster_.size(), sim::kTickNever);
@@ -287,6 +290,11 @@ Platform::ingestRequest(FunctionId fn, RequestIndex request)
     f.policy->recordInvocation(now);
     f.lastInvocation = now;
 
+    if (tracer_.wants(request)) {
+        tracer_.record(obs::SpanKind::Arrival, request, fn, -1, -1, now,
+                       0);
+    }
+
     sim::Tick delay = ingressDelay();
     if (delay > 0) {
         sim_.afterFixed(delay, [this, fn, request] {
@@ -493,6 +501,23 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
     f.metrics.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
     total_.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
 
+    if (tracer_.wants(request)) {
+        cluster::ServerId server = rt.inst.serverId();
+        cluster::InstanceId instance = rt.inst.id();
+        if (cold > 0) {
+            tracer_.record(obs::SpanKind::ColdStart, request,
+                           record.function, server, instance,
+                           record.arrival, cold);
+        }
+        tracer_.record(obs::SpanKind::Queue, request, record.function,
+                       server, instance, record.arrival + cold,
+                       queue_time);
+        tracer_.record(obs::SpanKind::Exec, request, record.function,
+                       server, instance, started, exec_time);
+        tracer_.record(obs::SpanKind::Complete, request, record.function,
+                       server, instance, sim_.now(), 0);
+    }
+
     if (record.retried) {
         // A crash-lost request made it through a re-dispatch: that is a
         // successful failover.
@@ -591,8 +616,11 @@ Platform::armExpiry(std::size_t idx)
         // hand-over while the replacement instances warm up.
         wait = 3 * sim::kTicksPerSec;
     } else {
-        coldstart::KeepAliveDecision decision =
-            f.policy->decide(sim_.now());
+        coldstart::KeepAliveDecision decision;
+        {
+            obs::ProfScope scope(&prof_, obs::Phase::ColdStartPolicy);
+            decision = f.policy->decide(sim_.now());
+        }
         sim::Tick keep_alive = std::max<sim::Tick>(
             decision.keepAliveWindow, sim::kTicksPerSec);
         // The policy's window may shrink as its histograms mature, so
@@ -619,9 +647,13 @@ Platform::armExpiry(std::size_t idx)
         // Reap only when the *current* keep-alive window has elapsed
         // since the last activity; otherwise keep checking.
         FunctionState &fs = functionState(r.fn);
+        coldstart::KeepAliveDecision decision;
+        {
+            obs::ProfScope scope(&prof_, obs::Phase::ColdStartPolicy);
+            decision = fs.policy->decide(sim_.now());
+        }
         sim::Tick keep_alive = std::max<sim::Tick>(
-            fs.policy->decide(sim_.now()).keepAliveWindow,
-            sim::kTicksPerSec);
+            decision.keepAliveWindow, sim::kTicksPerSec);
         if (sim_.now() - r.inst.lastActive() >= keep_alive)
             reapInstance(idx);
         else
@@ -788,6 +820,10 @@ Platform::dropRequest(FunctionState &f, RequestIndex request, sim::Tick now)
     total_.recordDrop(now);
     const RequestRecord &record =
         requests_[static_cast<std::size_t>(request)];
+    if (tracer_.wants(request)) {
+        tracer_.record(obs::SpanKind::Drop, request, record.function, -1,
+                       -1, now, 0);
+    }
     if (record.chain != kNoChain) {
         chains_[static_cast<std::size_t>(record.chain)].metrics.recordDrop(
             now);
@@ -809,6 +845,8 @@ Platform::failoverRequest(FunctionId fn, RequestIndex request)
     rec.retried = true;
     f.metrics.recordRetry(now);
     total_.recordRetry(now);
+    if (tracer_.wants(request))
+        tracer_.record(obs::SpanKind::Retry, request, fn, -1, -1, now, 0);
     // Backoff, then re-enter the ordinary routing path (which may itself
     // trigger a reactive scale-out onto the surviving servers).
     sim_.afterFixed(rp.backoff(rec.retries), [this, fn, request] {
@@ -825,6 +863,8 @@ Platform::injectServerCrash(cluster::ServerId id)
     cluster_.setServerDown(id);
     serverDownSince_[static_cast<std::size_t>(id)] = now;
     total_.recordServerCrash(now);
+    if (tracer_.enabled())
+        tracer_.clusterEvent(obs::SpanKind::ServerCrash, id, now);
 
     std::vector<std::size_t> victims;
     for (std::size_t idx = 0; idx < instances_.size(); ++idx) {
@@ -844,6 +884,8 @@ Platform::injectServerRecovery(cluster::ServerId id)
         return; // never crashed, or recovered already
     sim::Tick now = sim_.now();
     cluster_.setServerUp(id);
+    if (tracer_.enabled())
+        tracer_.clusterEvent(obs::SpanKind::ServerRecovery, id, now);
     sim::Tick &since = serverDownSince_[static_cast<std::size_t>(id)];
     if (since != sim::kTickNever) {
         serverDownAccum_ += now - since;
@@ -875,7 +917,11 @@ Platform::maybePrewarm(FunctionId fn)
     FunctionState &f = functionState(fn);
     if (f.prewarmEvent != sim::kNoEvent || f.lastInvocation < 0)
         return;
-    coldstart::KeepAliveDecision decision = f.policy->decide(now);
+    coldstart::KeepAliveDecision decision;
+    {
+        obs::ProfScope scope(&prof_, obs::Phase::ColdStartPolicy);
+        decision = f.policy->decide(now);
+    }
     if (decision.prewarmWindow <= 0)
         return;
     sim::Tick when = f.lastInvocation + decision.prewarmWindow;
@@ -955,6 +1001,9 @@ Platform::refreshTargets(FunctionState &f)
 void
 Platform::scalerTick()
 {
+    // Whole-tick scope: nested Schedule/CopSolve scopes report their own
+    // (inclusive) share separately.
+    obs::ProfScope scaler_scope(&prof_, obs::Phase::Autoscaler);
     sim::Tick now = sim_.now();
     // Rotate the function order each tick so no single function gets a
     // standing first claim on freed resources.

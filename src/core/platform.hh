@@ -39,6 +39,9 @@
 #include "models/exec_model.hh"
 #include "models/latency_cache.hh"
 #include "models/model_zoo.hh"
+#include "obs/options.hh"
+#include "obs/prof_scope.hh"
+#include "obs/trace_recorder.hh"
 #include "profiler/cop.hh"
 #include "profiler/op_profile_db.hh"
 #include "sim/simulation.hh"
@@ -90,6 +93,14 @@ struct PlatformOptions
     faults::FaultProfile faults;
     /** Failover discipline for requests lost to crashes. */
     faults::RetryPolicy retry;
+    /**
+     * Observability: request tracing and controller profiling (both off
+     * by default). Tracing never perturbs the simulation — it schedules
+     * no events and draws no randomness — and profiling measures wall
+     * clock outside simulated time, so enabling either leaves every
+     * simulation output bit-identical.
+     */
+    obs::ObsOptions obs;
 };
 
 /** Launch/served tallies of one instance configuration (Fig. 13). */
@@ -172,6 +183,7 @@ class Platform
     // Introspection --------------------------------------------------------
 
     sim::Simulation &simulation() { return sim_; }
+    const sim::Simulation &simulation() const { return sim_; }
     const cluster::Cluster &cluster() const { return cluster_; }
     const models::ModelZoo &zoo() const { return zoo_; }
     const PlatformOptions &options() const { return opts_; }
@@ -250,6 +262,14 @@ class Platform
      * 1 - downtime / (servers x elapsed).
      */
     double clusterAvailability() const;
+
+    // Observability ---------------------------------------------------------
+
+    /** The request-lifecycle span store (empty unless tracing is on). */
+    const obs::TraceRecorder &tracer() const { return tracer_; }
+
+    /** Controller overhead histograms (empty unless profiling is on). */
+    const obs::OverheadProfiler &overheads() const { return prof_; }
 
   protected:
     /** Runtime state of one instance. */
@@ -440,6 +460,10 @@ class Platform
 
     metrics::RunMetrics total_;
     metrics::TimeWeightedMean fragRatio_;
+    /** Request-lifecycle span store (no storage when tracing is off). */
+    obs::TraceRecorder tracer_;
+    /** Wall-clock controller overhead histograms. */
+    obs::OverheadProfiler prof_;
     cluster::InstanceId nextInstanceId_ = 0;
     sim::Tick endTime_ = 0;
     std::shared_ptr<sim::Simulation::Periodic> scalerHandle_;

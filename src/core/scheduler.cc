@@ -54,6 +54,7 @@ std::vector<CandidateConfig>
 GreedyScheduler::availableConfigs(const models::ModelInfo &model, int batch,
                                   double residual_rps, sim::Tick slo) const
 {
+    obs::ProfScope cop_scope(profiler_, obs::Phase::CopSolve);
     std::vector<CandidateConfig> feasible;
     std::int64_t memory = instanceMemoryMb(model);
     for (std::int64_t cpu : config_.cpuChoices) {
@@ -141,6 +142,7 @@ GreedyScheduler::schedule(const models::ModelInfo &model,
                           double residual_rps, sim::Tick slo, int max_batch,
                           cluster::Cluster &cluster) const
 {
+    obs::ProfScope schedule_scope(profiler_, obs::Phase::Schedule);
     std::vector<LaunchPlan> plans;
     std::vector<int> batches = batchLadder(model, max_batch);
 
@@ -151,23 +153,29 @@ GreedyScheduler::schedule(const models::ModelInfo &model,
     // descending, then CPU-major / GPU-minor), which pins tie-breaking.
     std::vector<PoolEntry> pool;
     std::int64_t memory = instanceMemoryMb(model);
-    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
-        int b = batches[bi];
-        for (std::int64_t cpu : config_.cpuChoices) {
-            for (std::int64_t gpu : config_.gpuChoices) {
-                cluster::Resources res{cpu, gpu, memory};
-                sim::Tick exec = predictor_.predict(model, b, res);
-                if (!execFeasible(exec, slo, b))
-                    continue;
-                PoolEntry entry;
-                entry.cand.config = cluster::InstanceConfig{b, res};
-                entry.cand.execPredicted = exec;
-                entry.cand.bounds = rpsBounds(exec, slo, b);
-                entry.weightedCost = res.weighted(config_.beta);
-                entry.batchOrdinal = static_cast<int>(bi);
-                entry.gateKey =
-                    b > 1 ? entry.cand.bounds.low : 0.0;
-                pool.push_back(entry);
+    {
+        // The COP solve of the fast path: every predictor composition
+        // happens in this block (the per-placement loop below reuses the
+        // pool). Nested inside the Schedule scope by design.
+        obs::ProfScope cop_scope(profiler_, obs::Phase::CopSolve);
+        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+            int b = batches[bi];
+            for (std::int64_t cpu : config_.cpuChoices) {
+                for (std::int64_t gpu : config_.gpuChoices) {
+                    cluster::Resources res{cpu, gpu, memory};
+                    sim::Tick exec = predictor_.predict(model, b, res);
+                    if (!execFeasible(exec, slo, b))
+                        continue;
+                    PoolEntry entry;
+                    entry.cand.config = cluster::InstanceConfig{b, res};
+                    entry.cand.execPredicted = exec;
+                    entry.cand.bounds = rpsBounds(exec, slo, b);
+                    entry.weightedCost = res.weighted(config_.beta);
+                    entry.batchOrdinal = static_cast<int>(bi);
+                    entry.gateKey =
+                        b > 1 ? entry.cand.bounds.low : 0.0;
+                    pool.push_back(entry);
+                }
             }
         }
     }
@@ -297,6 +305,7 @@ GreedyScheduler::scheduleNaive(const models::ModelInfo &model,
                                int max_batch,
                                cluster::Cluster &cluster) const
 {
+    obs::ProfScope schedule_scope(profiler_, obs::Phase::Schedule);
     std::vector<LaunchPlan> plans;
     std::vector<int> batches = batchLadder(model, max_batch);
 

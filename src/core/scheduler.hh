@@ -24,6 +24,7 @@
 #include "cluster/instance.hh"
 #include "core/rps_bounds.hh"
 #include "models/model_zoo.hh"
+#include "obs/prof_scope.hh"
 #include "profiler/cop.hh"
 #include "sim/time.hh"
 
@@ -90,6 +91,17 @@ class GreedyScheduler
                     SchedulerConfig config = {});
 
     const SchedulerConfig &config() const { return config_; }
+
+    /**
+     * Attach a wall-clock overhead profiler: schedule()/scheduleNaive()
+     * record under Phase::Schedule and the candidate-pool enumeration
+     * under Phase::CopSolve (nested inside the schedule scope). Null or
+     * disabled profilers cost one branch per call.
+     */
+    void setProfiler(obs::OverheadProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
 
     /** Memory an instance of @p model reserves. */
     std::int64_t instanceMemoryMb(const models::ModelInfo &model) const;
@@ -174,6 +186,8 @@ class GreedyScheduler
 
     const profiler::CopPredictor &predictor_;
     SchedulerConfig config_;
+    /** Optional overhead profiler (not owned; may be null). */
+    obs::OverheadProfiler *profiler_ = nullptr;
 };
 
 /**

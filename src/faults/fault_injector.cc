@@ -72,8 +72,13 @@ FaultInjector::crashServer(std::size_t server)
     double repair_sec =
         serverRng_[server].exponential(1.0 / profile_.serverMttrSec);
     sim::Tick repair = std::max<sim::Tick>(1, sim::secToTicks(repair_sec));
+    sim::logInfo("fault: server ", id, " crashed at t=",
+                 sim::ticksToSec(sim_.now()), "s, repair in ",
+                 sim::ticksToSec(repair), "s");
     sim_.afterFixed(repair, [this, server, id] {
         ++recoveries_;
+        sim::logInfo("fault: server ", id, " recovered at t=",
+                     sim::ticksToSec(sim_.now()), "s");
         if (hooks_.serverRecover)
             hooks_.serverRecover(id);
         scheduleCrash(server);

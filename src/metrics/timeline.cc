@@ -52,6 +52,11 @@ TimelineSampler::sample()
         auto counter = counterLast_.find(name);
         if (counter != counterLast_.end()) {
             double delta = v - counter->second;
+            // A cumulative counter that moved backwards was reset
+            // (subsystem restart): treat the new value as a fresh ramp
+            // from zero rather than reporting a negative spike.
+            if (delta < 0.0)
+                delta = v;
             counter->second = v;
             v = delta;
         }

@@ -52,9 +52,12 @@ class TimelineSampler
      * Register a counter series: @p probe returns a cumulative count and
      * the stored sample is the *delta* since the previous sample (the
      * first sample stores the counter as-is, i.e. the delta from zero).
-     * This is how drop or retry bursts become visible in the timeline —
-     * a cumulative counter plotted directly just ramps monotonically.
-     * Must be called before the first sample fires.
+     * A counter observed moving backwards (subsystem reset) restarts the
+     * ramp: that interval stores the new cumulative value, never a
+     * negative delta. This is how drop or retry bursts become visible in
+     * the timeline — a cumulative counter plotted directly just ramps
+     * monotonically. Must be called before the first sample fires; a
+     * name already registered (by track() or trackCounter()) panics.
      */
     void trackCounter(const std::string &name, Probe probe);
 

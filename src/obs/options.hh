@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Observability knobs bundled into PlatformOptions.
+ */
+
+#ifndef INFLESS_OBS_OPTIONS_HH
+#define INFLESS_OBS_OPTIONS_HH
+
+#include "obs/trace_recorder.hh"
+
+namespace infless::obs {
+
+/** Per-run observability configuration (all off by default). */
+struct ObsOptions
+{
+    /** Request-lifecycle tracing (sample rate 0 = off). */
+    TraceConfig trace;
+    /** Wall-clock profiling of controller decisions. */
+    bool profiling = false;
+};
+
+} // namespace infless::obs
+
+#endif // INFLESS_OBS_OPTIONS_HH

@@ -1,0 +1,67 @@
+#include "obs/prof_scope.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace infless::obs {
+
+namespace {
+
+/** Largest representable decision time: one minute of wall clock, in
+ *  nanoseconds (longer decisions clamp to the top bucket). */
+constexpr sim::Tick kMaxDecisionNs = 60'000'000'000LL;
+
+} // namespace
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Schedule:
+        return "scheduler";
+      case Phase::CopSolve:
+        return "cop";
+      case Phase::Autoscaler:
+        return "autoscaler";
+      case Phase::ColdStartPolicy:
+        return "coldstart_policy";
+    }
+    return "?";
+}
+
+OverheadProfiler::OverheadProfiler()
+{
+    for (auto &h : hist_)
+        h = metrics::LatencyHistogram(1.1, kMaxDecisionNs);
+}
+
+void
+OverheadProfiler::record(Phase phase, std::int64_t nanos)
+{
+    auto i = static_cast<std::size_t>(phase);
+    sim::simAssert(i < kPhaseCount, "bad phase ", i);
+    hist_[i].record(std::max<std::int64_t>(0, nanos));
+    totalNs_[i] += static_cast<double>(std::max<std::int64_t>(0, nanos));
+}
+
+PhaseStats
+OverheadProfiler::stats(Phase phase) const
+{
+    auto i = static_cast<std::size_t>(phase);
+    sim::simAssert(i < kPhaseCount, "bad phase ", i);
+    const metrics::LatencyHistogram &h = hist_[i];
+    PhaseStats s;
+    s.count = static_cast<std::uint64_t>(h.count());
+    if (s.count == 0)
+        return s;
+    s.totalUs = totalNs_[i] / 1e3;
+    s.meanUs = h.mean() / 1e3;
+    s.p50Us = static_cast<double>(h.percentile(50.0)) / 1e3;
+    s.p99Us = static_cast<double>(h.percentile(99.0)) / 1e3;
+    s.minUs = static_cast<double>(h.min()) / 1e3;
+    s.maxUs = static_cast<double>(h.max()) / 1e3;
+    return s;
+}
+
+} // namespace infless::obs

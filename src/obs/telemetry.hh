@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unified telemetry export (observability pillar 3).
+ *
+ * A TelemetryRegistry gathers everything one run produces — RunMetrics
+ * counters and latency distributions, the exec-model cache hit/miss
+ * tallies, fault counters, controller overhead histograms and optional
+ * timeline series — into two machine-readable exports:
+ *
+ *  - telemetry.json: schema-versioned JSON (kTelemetrySchemaVersion
+ *    gates consumers against silent layout drift);
+ *  - metrics.prom: Prometheus text exposition, one sample per line,
+ *    suitable for node_exporter-style scraping of batch results.
+ *
+ * The registry is a passive sink: callers push values, then write. It
+ * holds no references into the platform, so it outlives the run it
+ * describes.
+ */
+
+#ifndef INFLESS_OBS_TELEMETRY_HH
+#define INFLESS_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hh"
+#include "metrics/timeline.hh"
+#include "obs/prof_scope.hh"
+
+namespace infless::obs {
+
+/** Bump on any breaking change to the telemetry.json layout. */
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/**
+ * Accumulates a run's metrics and writes the unified exports.
+ */
+class TelemetryRegistry
+{
+  public:
+    /** Identify the run (benchmark name, seed, simulated duration). */
+    void setRun(const std::string &benchmark, std::uint64_t seed,
+                double duration_sec);
+
+    /** Mark the run's event drain as truncated (partial metrics). */
+    void setTruncated(bool truncated) { truncated_ = truncated; }
+
+    /** Add a monotonically increasing counter. */
+    void counter(const std::string &name, double value,
+                 const std::string &help = "");
+
+    /** Add a point-in-time gauge. */
+    void gauge(const std::string &name, double value,
+               const std::string &help = "");
+
+    /** Add a pre-summarized distribution (all values in one unit). */
+    void histogram(const std::string &name, std::uint64_t count,
+                   double mean, double p50, double p99, double min,
+                   double max, const std::string &help = "");
+
+    /** Summarize a latency histogram (ticks), exported in milliseconds. */
+    void latencyHistogram(const std::string &name,
+                          const metrics::LatencyHistogram &hist,
+                          const std::string &help = "");
+
+    /** Pull every counter/rate/distribution out of a RunMetrics. */
+    void addRunMetrics(const metrics::RunMetrics &metrics);
+
+    /** One overhead histogram per profiler phase (wall-clock micros);
+     *  all phases are exported even when empty, so consumers can rely
+     *  on the keys being present. */
+    void addOverheads(const OverheadProfiler &profiler);
+
+    /** Attach a sampled timeline's series. */
+    void addTimeline(const metrics::TimelineSampler &timeline);
+
+    /** Write the schema-versioned JSON document. */
+    void writeJson(std::ostream &os) const;
+
+    /** Write the Prometheus text exposition. */
+    void writePrometheus(std::ostream &os) const;
+
+  private:
+    struct Scalar
+    {
+        std::string name;
+        std::string help;
+        double value = 0.0;
+        bool isCounter = false;
+    };
+
+    struct Histogram
+    {
+        std::string name;
+        std::string help;
+        std::string unit;
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double p50 = 0.0;
+        double p99 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    struct Series
+    {
+        std::string name;
+        std::vector<double> timesSec;
+        std::vector<double> values;
+    };
+
+    std::string benchmark_ = "unnamed";
+    std::uint64_t seed_ = 0;
+    double durationSec_ = 0.0;
+    bool truncated_ = false;
+    std::vector<Scalar> scalars_;
+    std::vector<Histogram> histograms_;
+    std::vector<Series> series_;
+};
+
+} // namespace infless::obs
+
+#endif // INFLESS_OBS_TELEMETRY_HH

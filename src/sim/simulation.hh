@@ -39,6 +39,7 @@ class Simulation
 
     /** The event queue (for advanced scheduling). */
     EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
 
     /** The root random stream. */
     Rng &rng() { return rng_; }

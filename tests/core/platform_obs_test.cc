@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Observability integration with the platform: tracing emits the
+ * expected lifecycle spans and fault instants, sampling rate 0 and
+ * profiling leave every simulation output bit-identical, and the
+ * overhead profiler populates under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/platform.hh"
+#include "obs/prof_scope.hh"
+#include "obs/trace_recorder.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using infless::core::FunctionSpec;
+using infless::core::Platform;
+using infless::core::PlatformOptions;
+using infless::obs::Phase;
+using infless::obs::SpanKind;
+using infless::obs::SpanRecord;
+using infless::sim::kTicksPerMin;
+using infless::sim::kTicksPerSec;
+using infless::sim::msToTicks;
+using infless::sim::Tick;
+using infless::workload::uniformArrivals;
+
+FunctionSpec
+resnetSpec(Tick slo = msToTicks(200))
+{
+    FunctionSpec spec;
+    spec.name = "resnet";
+    spec.model = "ResNet-50";
+    spec.sloTicks = slo;
+    return spec;
+}
+
+/** Every simulation output a run produces, as a comparable tuple. */
+auto
+metricTuple(const Platform &p)
+{
+    const auto &m = p.totalMetrics();
+    return std::make_tuple(
+        m.arrivals(), m.completions(), m.drops(), m.sloViolations(),
+        m.launches(), m.coldLaunches(), m.batches(),
+        m.latency().percentile(99.0), m.queueTime().percentile(99.0),
+        m.execTime().percentile(99.0), m.meanBatchFill(),
+        p.liveInstanceCount(), p.meanFragmentRatio());
+}
+
+void
+runWorkload(Platform &p)
+{
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(80.0, kTicksPerMin));
+    p.run(kTicksPerMin + 10 * kTicksPerSec);
+}
+
+TEST(PlatformObsTest, TracingAndProfilingAreBitIdentical)
+{
+    // Reference: observability fully off (the default options).
+    Platform plain(4);
+    runWorkload(plain);
+
+    // Full-rate tracing + profiling on: every simulation output must be
+    // unchanged — tracing draws no randomness and schedules no events,
+    // profiling reads only the host's wall clock.
+    PlatformOptions opts;
+    opts.obs.trace.sampleRate = 1.0;
+    opts.obs.profiling = true;
+    Platform traced(4, std::move(opts));
+    runWorkload(traced);
+
+    EXPECT_EQ(metricTuple(plain), metricTuple(traced));
+    EXPECT_GT(traced.tracer().recorded(), 0u);
+}
+
+TEST(PlatformObsTest, RateZeroRecordsNothing)
+{
+    PlatformOptions opts;
+    opts.obs.trace.sampleRate = 0.0;
+    Platform p(4, std::move(opts));
+    runWorkload(p);
+    EXPECT_FALSE(p.tracer().enabled());
+    EXPECT_EQ(p.tracer().recorded(), 0u);
+    EXPECT_EQ(p.tracer().size(), 0u);
+}
+
+TEST(PlatformObsTest, FullRateTracingEmitsLifecycleSpans)
+{
+    PlatformOptions opts;
+    opts.obs.trace.sampleRate = 1.0;
+    opts.obs.trace.capacity = 1 << 18; // keep the whole run
+    Platform p(4, std::move(opts));
+    runWorkload(p);
+
+    int arrivals = 0, queues = 0, execs = 0, completes = 0, colds = 0;
+    for (const SpanRecord &rec : p.tracer().snapshot()) {
+        switch (rec.kind) {
+          case SpanKind::Arrival:
+            ++arrivals;
+            break;
+          case SpanKind::Queue:
+            ++queues;
+            EXPECT_GE(rec.server, 0);
+            EXPECT_GE(rec.instance, 0);
+            break;
+          case SpanKind::Exec:
+            ++execs;
+            EXPECT_GT(rec.duration, 0);
+            break;
+          case SpanKind::Complete:
+            ++completes;
+            break;
+          case SpanKind::ColdStart:
+            ++colds;
+            EXPECT_GT(rec.duration, 0);
+            break;
+          default:
+            break;
+        }
+    }
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(arrivals, m.arrivals());
+    EXPECT_EQ(completes, m.completions());
+    EXPECT_EQ(queues, completes); // one queue span per completion
+    EXPECT_EQ(execs, completes);
+    EXPECT_GT(colds, 0); // the first requests waited through a cold start
+}
+
+TEST(PlatformObsTest, CrashAndRecoveryEmitClusterInstants)
+{
+    PlatformOptions opts;
+    opts.obs.trace.sampleRate = 1.0;
+    Platform p(4, std::move(opts));
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(50.0, 30 * kTicksPerSec));
+
+    p.run(5 * kTicksPerSec);
+    p.injectServerCrash(0);
+    p.run(10 * kTicksPerSec);
+    p.injectServerRecovery(0);
+    p.run(35 * kTicksPerSec);
+
+    int crashes = 0, recoveries = 0;
+    for (const SpanRecord &rec : p.tracer().snapshot()) {
+        if (rec.kind == SpanKind::ServerCrash) {
+            ++crashes;
+            EXPECT_EQ(rec.server, 0);
+        }
+        if (rec.kind == SpanKind::ServerRecovery)
+            ++recoveries;
+    }
+    EXPECT_EQ(crashes, 1);
+    EXPECT_EQ(recoveries, 1);
+}
+
+TEST(PlatformObsTest, FractionalSamplingTracesSubsetConsistently)
+{
+    PlatformOptions opts;
+    opts.obs.trace.sampleRate = 0.25;
+    Platform p(4, std::move(opts));
+    runWorkload(p);
+
+    const auto &tracer = p.tracer();
+    EXPECT_GT(tracer.recorded(), 0u);
+    // Every recorded request must itself be sampled (no leakage), and
+    // strictly fewer than all arrivals can be traced.
+    for (const SpanRecord &rec : tracer.snapshot()) {
+        if (rec.request >= 0)
+            EXPECT_TRUE(tracer.sampled(rec.request));
+    }
+    EXPECT_LT(tracer.recorded(),
+              static_cast<std::uint64_t>(p.totalMetrics().arrivals()) * 4);
+}
+
+TEST(PlatformObsTest, ProfilerPopulatesUnderLoad)
+{
+    PlatformOptions opts;
+    opts.obs.profiling = true;
+    Platform p(4, std::move(opts));
+    runWorkload(p);
+
+    const auto &prof = p.overheads();
+    // The scaler fires every period, and any scale-out runs Algorithm 1
+    // with its nested COP enumeration; expirations hit the keep-alive
+    // policy.
+    EXPECT_GT(prof.stats(Phase::Autoscaler).count, 0u);
+    EXPECT_GT(prof.stats(Phase::Schedule).count, 0u);
+    EXPECT_GT(prof.stats(Phase::CopSolve).count, 0u);
+    EXPECT_GT(prof.stats(Phase::ColdStartPolicy).count, 0u);
+    // COP solves nest inside schedule calls: at least as many.
+    EXPECT_GE(prof.stats(Phase::CopSolve).count,
+              prof.stats(Phase::Schedule).count);
+}
+
+TEST(PlatformObsTest, ProfilerOffRecordsNothing)
+{
+    Platform p(4);
+    runWorkload(p);
+    EXPECT_FALSE(p.overheads().enabled());
+    EXPECT_EQ(p.overheads().stats(Phase::Schedule).count, 0u);
+    EXPECT_EQ(p.overheads().stats(Phase::Autoscaler).count, 0u);
+}
+
+} // namespace

@@ -92,6 +92,49 @@ TEST(TimelineTest, CounterSeriesStoresDeltas)
               (std::vector<double>{3.0, 3.0, 10.0, 10.0}));
 }
 
+TEST(TimelineTest, CounterFirstIntervalIsDeltaFromZero)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    // A counter already past zero before the first sample: the first
+    // interval reports the full cumulative value (delta from zero).
+    double cumulative = 5.0;
+    sampler.trackCounter("events", [&] { return cumulative; });
+    sim.runUntil(kTicksPerSec);
+
+    ASSERT_EQ(sampler.sampleCount(), 1u);
+    EXPECT_EQ(sampler.series("events"), (std::vector<double>{5.0}));
+}
+
+TEST(TimelineTest, CounterResetRestartsTheRamp)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    // A counter that moves backwards (source reset): the sampler must
+    // not record a negative delta; the new cumulative value restarts
+    // the ramp.
+    double cumulative = 5.0;
+    sampler.trackCounter("resets", [&] { return cumulative; });
+    sim.at(sim.now() + kTicksPerSec + kTicksPerSec / 2,
+           [&] { cumulative = 2.0; });
+    sim.runUntil(2 * kTicksPerSec);
+
+    ASSERT_EQ(sampler.sampleCount(), 2u);
+    EXPECT_EQ(sampler.series("resets"), (std::vector<double>{5.0, 2.0}));
+}
+
+TEST(TimelineTest, DuplicateCounterNamePanics)
+{
+    Simulation sim;
+    TimelineSampler sampler(sim, kTicksPerSec);
+    sampler.trackCounter("x", [] { return 0.0; });
+    EXPECT_THROW(sampler.trackCounter("x", [] { return 0.0; }),
+                 infless::sim::PanicError);
+    // Mixed kinds collide on the same name too.
+    EXPECT_THROW(sampler.track("x", [] { return 0.0; }),
+                 infless::sim::PanicError);
+}
+
 TEST(TimelineTest, UnknownSeriesPanics)
 {
     Simulation sim;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON validator for structural tests.
+ *
+ * Not a parser producing a DOM — it walks the text once and reports
+ * whether it is a single well-formed JSON value. Keeps the trace/
+ * telemetry structural tests dependency-free.
+ */
+
+#ifndef INFLESS_TESTS_OBS_MINI_JSON_HH
+#define INFLESS_TESTS_OBS_MINI_JSON_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace infless::testing {
+
+class MiniJsonValidator
+{
+  public:
+    explicit MiniJsonValidator(const std::string &text) : text_(text) {}
+
+    /** True iff the text is exactly one well-formed JSON value. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        ok_ = true;
+        skipWs();
+        value();
+        skipWs();
+        return ok_ && pos_ == text_.size();
+    }
+
+  private:
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() == c)
+            ++pos_;
+        else
+            ok_ = false;
+    }
+
+    void
+    value()
+    {
+        if (!ok_)
+            return;
+        switch (peek()) {
+          case '{':
+            object();
+            break;
+          case '[':
+            array();
+            break;
+          case '"':
+            string();
+            break;
+          case 't':
+            literal("true");
+            break;
+          case 'f':
+            literal("false");
+            break;
+          case 'n':
+            literal("null");
+            break;
+          default:
+            number();
+            break;
+        }
+    }
+
+    void
+    object()
+    {
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (ok_) {
+            skipWs();
+            string();
+            skipWs();
+            expect(':');
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void
+    array()
+    {
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        while (ok_) {
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    void
+    string()
+    {
+        expect('"');
+        while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) {
+                    ok_ = false;
+                    return;
+                }
+            }
+            ++pos_;
+        }
+        expect('"');
+    }
+
+    void
+    number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (pos_ == start)
+            ok_ = false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p)
+            expect(*p);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Convenience: validate a JSON string in one call. */
+inline bool
+jsonValid(const std::string &text)
+{
+    return MiniJsonValidator(text).valid();
+}
+
+} // namespace infless::testing
+
+#endif // INFLESS_TESTS_OBS_MINI_JSON_HH

@@ -1,0 +1,86 @@
+/** OverheadProfiler / ProfScope behavior. */
+
+#include "obs/prof_scope.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace infless;
+using obs::OverheadProfiler;
+using obs::Phase;
+using obs::PhaseStats;
+using obs::ProfScope;
+
+TEST(OverheadProfiler, DisabledByDefaultAndScopesRecordNothing)
+{
+    OverheadProfiler prof;
+    EXPECT_FALSE(prof.enabled());
+    {
+        ProfScope scope(&prof, Phase::Schedule);
+    }
+    EXPECT_EQ(prof.stats(Phase::Schedule).count, 0u);
+}
+
+TEST(OverheadProfiler, NullProfilerIsSafe)
+{
+    ProfScope scope(nullptr, Phase::Autoscaler);
+    // Destructor must be a no-op; nothing to assert beyond not crashing.
+}
+
+TEST(OverheadProfiler, EnabledScopeRecordsOneSamplePerScope)
+{
+    OverheadProfiler prof;
+    prof.setEnabled(true);
+    for (int i = 0; i < 5; ++i) {
+        ProfScope scope(&prof, Phase::CopSolve);
+    }
+    PhaseStats stats = prof.stats(Phase::CopSolve);
+    EXPECT_EQ(stats.count, 5u);
+    EXPECT_GE(stats.meanUs, 0.0);
+    EXPECT_GE(stats.maxUs, stats.minUs);
+    // Other phases stay empty.
+    EXPECT_EQ(prof.stats(Phase::Schedule).count, 0u);
+    EXPECT_EQ(prof.stats(Phase::Autoscaler).count, 0u);
+}
+
+TEST(OverheadProfiler, RecordAccumulatesConsistentSummary)
+{
+    OverheadProfiler prof;
+    prof.setEnabled(true);
+    // 1us, 10us, 100us in nanoseconds.
+    prof.record(Phase::ColdStartPolicy, 1'000);
+    prof.record(Phase::ColdStartPolicy, 10'000);
+    prof.record(Phase::ColdStartPolicy, 100'000);
+
+    PhaseStats stats = prof.stats(Phase::ColdStartPolicy);
+    EXPECT_EQ(stats.count, 3u);
+    EXPECT_NEAR(stats.totalUs, 111.0, 0.01);
+    EXPECT_NEAR(stats.meanUs, 37.0, 0.01);
+    // Log-bucketed quantiles: generous relative tolerance.
+    EXPECT_NEAR(stats.p50Us, 10.0, 1.5);
+    EXPECT_GE(stats.p99Us, stats.p50Us);
+    EXPECT_LE(stats.minUs, stats.p50Us);
+    EXPECT_GE(stats.maxUs, stats.p99Us);
+}
+
+TEST(OverheadProfiler, NegativeDurationsClampToZero)
+{
+    OverheadProfiler prof;
+    prof.setEnabled(true);
+    prof.record(Phase::Schedule, -50);
+    PhaseStats stats = prof.stats(Phase::Schedule);
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_EQ(stats.minUs, 0.0);
+}
+
+TEST(OverheadProfiler, PhaseNamesAreStableExportKeys)
+{
+    EXPECT_STREQ(obs::phaseName(Phase::Schedule), "scheduler");
+    EXPECT_STREQ(obs::phaseName(Phase::CopSolve), "cop");
+    EXPECT_STREQ(obs::phaseName(Phase::Autoscaler), "autoscaler");
+    EXPECT_STREQ(obs::phaseName(Phase::ColdStartPolicy),
+                 "coldstart_policy");
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/** Ring, sampling, and Chrome-trace export behavior of TraceRecorder. */
+
+#include "obs/trace_recorder.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "mini_json.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace infless;
+using obs::SpanKind;
+using obs::SpanRecord;
+using obs::TraceConfig;
+using obs::TraceRecorder;
+
+TraceConfig
+config(double rate, std::size_t capacity = 64)
+{
+    TraceConfig cfg;
+    cfg.sampleRate = rate;
+    cfg.capacity = capacity;
+    return cfg;
+}
+
+TEST(TraceRecorder, DefaultDisabledAndStorageFree)
+{
+    TraceRecorder rec;
+    EXPECT_FALSE(rec.enabled());
+    EXPECT_FALSE(rec.wants(0));
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(TraceRecorder, RateZeroSamplesNothingRateOneEverything)
+{
+    TraceRecorder rec;
+    rec.configure(config(0.0));
+    for (std::int64_t r = 0; r < 100; ++r)
+        EXPECT_FALSE(rec.wants(r));
+
+    rec.configure(config(1.0));
+    for (std::int64_t r = 0; r < 100; ++r)
+        EXPECT_TRUE(rec.wants(r)) << "request " << r;
+}
+
+TEST(TraceRecorder, FractionalSamplingIsDeterministicAndRoughlyFair)
+{
+    TraceRecorder a, b;
+    a.configure(config(0.5));
+    b.configure(config(0.5, 1024)); // capacity must not affect sampling
+
+    int sampled = 0;
+    for (std::int64_t r = 0; r < 10'000; ++r) {
+        bool hit = a.sampled(r);
+        EXPECT_EQ(hit, b.sampled(r)) << "request " << r;
+        sampled += hit ? 1 : 0;
+    }
+    // Hash-uniform: expect ~5000 +- a generous band.
+    EXPECT_GT(sampled, 4'500);
+    EXPECT_LT(sampled, 5'500);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestBeyondCapacity)
+{
+    TraceRecorder rec;
+    rec.configure(config(1.0, 4));
+    for (std::int64_t r = 0; r < 10; ++r)
+        rec.record(SpanKind::Arrival, r, 0, -1, -1, r * 100, 0);
+
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.recorded(), 10u);
+    EXPECT_EQ(rec.overwritten(), 6u);
+
+    auto spans = rec.snapshot();
+    ASSERT_EQ(spans.size(), 4u);
+    // Oldest-first: requests 6, 7, 8, 9 survive.
+    for (std::size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].request, static_cast<std::int64_t>(6 + i));
+}
+
+TEST(TraceRecorder, ReconfigureClearsState)
+{
+    TraceRecorder rec;
+    rec.configure(config(1.0));
+    rec.record(SpanKind::Arrival, 1, 0, -1, -1, 0, 0);
+    EXPECT_EQ(rec.size(), 1u);
+
+    rec.configure(config(0.0));
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.recorded(), 0u);
+    EXPECT_FALSE(rec.enabled());
+}
+
+TEST(TraceRecorder, ChromeTraceIsValidJsonWithExpectedEvents)
+{
+    TraceRecorder rec;
+    rec.configure(config(1.0));
+    rec.record(SpanKind::Arrival, 7, 2, -1, -1, 1'000, 0);
+    rec.record(SpanKind::Queue, 7, 2, 3, 41, 1'000, 500);
+    rec.record(SpanKind::Exec, 7, 2, 3, 41, 1'500, 2'000);
+    rec.record(SpanKind::Complete, 7, 2, 3, 41, 3'500, 0);
+    rec.clusterEvent(SpanKind::ServerCrash, 3, 2'000);
+    rec.clusterEvent(SpanKind::ServerRecovery, 3, 9'000);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    std::string trace = os.str();
+
+    EXPECT_TRUE(infless::testing::jsonValid(trace)) << trace;
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"displayTimeUnit\""), std::string::npos);
+    // Lifecycle spans and instants.
+    EXPECT_NE(trace.find("\"arrival\""), std::string::npos);
+    EXPECT_NE(trace.find("\"queue\""), std::string::npos);
+    EXPECT_NE(trace.find("\"exec\""), std::string::npos);
+    EXPECT_NE(trace.find("\"complete\""), std::string::npos);
+    // Fault instants.
+    EXPECT_NE(trace.find("\"server_crash\""), std::string::npos);
+    EXPECT_NE(trace.find("\"server_recovery\""), std::string::npos);
+    // Track metadata: the gateway and server 3 (pid 5).
+    EXPECT_NE(trace.find("\"gateway\""), std::string::npos);
+    EXPECT_NE(trace.find("\"server 3\""), std::string::npos);
+    // Spans carry ph X, instants ph i.
+    EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(TraceRecorder, EmptyRecorderStillWritesValidJson)
+{
+    TraceRecorder rec;
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    EXPECT_TRUE(infless::testing::jsonValid(os.str())) << os.str();
+}
+
+TEST(TraceRecorder, RejectsOutOfRangeRate)
+{
+    TraceRecorder rec;
+    EXPECT_THROW(rec.configure(config(-0.1)), sim::PanicError);
+    EXPECT_THROW(rec.configure(config(1.5)), sim::PanicError);
+}
+
+} // namespace

@@ -1,9 +1,13 @@
 /**
  * @file
- * Unit tests for the panic/fatal helpers.
+ * Unit tests for the panic/fatal helpers and the leveled logger.
  */
 
 #include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -11,9 +15,41 @@ namespace {
 
 using infless::sim::fatal;
 using infless::sim::FatalError;
+using infless::sim::logDebug;
+using infless::sim::logError;
+using infless::sim::logInfo;
+using infless::sim::LogLevel;
+using infless::sim::logWarn;
 using infless::sim::panic;
 using infless::sim::PanicError;
+using infless::sim::setLogLevel;
+using infless::sim::setWarnHandler;
 using infless::sim::simAssert;
+using infless::sim::warn;
+
+/** RAII capture of the log sink + a pinned threshold. */
+class LogCapture
+{
+  public:
+    explicit LogCapture(LogLevel level)
+        : prevLevel_(setLogLevel(level)),
+          prevHandler_(setWarnHandler(
+              [this](const std::string &msg) { lines.push_back(msg); }))
+    {
+    }
+
+    ~LogCapture()
+    {
+        setWarnHandler(prevHandler_);
+        setLogLevel(prevLevel_);
+    }
+
+    std::vector<std::string> lines;
+
+  private:
+    LogLevel prevLevel_;
+    std::function<void(const std::string &)> prevHandler_;
+};
 
 TEST(LoggingTest, PanicThrowsWithMessage)
 {
@@ -53,6 +89,56 @@ TEST(LoggingTest, PanicIsALogicError)
 TEST(LoggingTest, FatalIsARuntimeError)
 {
     EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(LoggingTest, DefaultThresholdPassesWarnSuppressesInfo)
+{
+    LogCapture capture(LogLevel::Warn);
+    logError("e");
+    logWarn("w");
+    warn("legacy ", 7);
+    logInfo("i");
+    logDebug("d");
+    EXPECT_EQ(capture.lines,
+              (std::vector<std::string>{"error: e", "warn: w",
+                                        "warn: legacy 7"}));
+}
+
+TEST(LoggingTest, ErrorThresholdSuppressesWarnings)
+{
+    LogCapture capture(LogLevel::Error);
+    logError("only this");
+    logWarn("not this");
+    warn("nor this");
+    EXPECT_EQ(capture.lines,
+              (std::vector<std::string>{"error: only this"}));
+}
+
+TEST(LoggingTest, DebugThresholdPassesEverything)
+{
+    LogCapture capture(LogLevel::Debug);
+    logError("e");
+    logWarn("w");
+    logInfo("i");
+    logDebug("d");
+    EXPECT_EQ(capture.lines,
+              (std::vector<std::string>{"error: e", "warn: w", "info: i",
+                                        "debug: d"}));
+}
+
+TEST(LoggingTest, SetLogLevelReturnsPrevious)
+{
+    LogLevel original = setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(setLogLevel(LogLevel::Info), LogLevel::Debug);
+    EXPECT_EQ(setLogLevel(original), LogLevel::Info);
+}
+
+TEST(LoggingTest, MessagesFormatMultipleParts)
+{
+    LogCapture capture(LogLevel::Info);
+    logInfo("fault: server ", 3, " crashed at t=", 1.5, "s");
+    ASSERT_EQ(capture.lines.size(), 1u);
+    EXPECT_EQ(capture.lines[0], "info: fault: server 3 crashed at t=1.5s");
 }
 
 } // namespace
