@@ -157,6 +157,14 @@ runScenario(core::Platform &platform,
     result.failovers = m.failovers();
     result.lostBatchRequests = m.lostBatchRequests();
     result.startupFailures = m.startupFailures();
+    result.sheds = m.sheds();
+    result.breakerSheds = m.breakerSheds();
+    result.queueEvictions = m.queueEvictions();
+    result.retryBudgetExhausted = m.retryBudgetExhausted();
+    result.breakerOpens = m.breakerOpens();
+    result.breakerCloses = m.breakerCloses();
+    result.brownoutEntries = m.brownoutEntries();
+    result.brownoutExits = m.brownoutExits();
     result.availability = platform.clusterAvailability();
     result.meanRestoreSec = sim::ticksToSec(m.meanRestoreTicks());
     result.truncated = platform.simulation().events().truncated();

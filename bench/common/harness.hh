@@ -96,6 +96,16 @@ struct ScenarioResult
     /** Mean crash-to-recovery time, seconds (0 if no recovery). */
     double meanRestoreSec = 0.0;
 
+    // Overload control (all zero when the defenses are disabled) ----------
+    std::int64_t sheds = 0;
+    std::int64_t breakerSheds = 0;
+    std::int64_t queueEvictions = 0;
+    std::int64_t retryBudgetExhausted = 0;
+    std::int64_t breakerOpens = 0;
+    std::int64_t breakerCloses = 0;
+    std::int64_t brownoutEntries = 0;
+    std::int64_t brownoutExits = 0;
+
     // Run health -----------------------------------------------------------
     /** Whether the event engine hit its safety cap (results suspect). */
     bool truncated = false;

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Overload-burst bench: goodput under a periodic burst train whose peaks
+ * reach half to four times the calibrated capacity, with the overload
+ * control plane off, admission-only, and fully engaged.
+ *
+ * Not a paper figure: the paper's stress test (Fig. 11) stops at the
+ * throughput knee, but production gateways get pushed past it — and in
+ * bursts, not at a steady rate. The workload alternates a modest base
+ * load with short bursts at multiplier x capacity. Undefended, the
+ * autoscaler scales in during every trough and each burst onset lands on
+ * a cold fleet: a storm of cold-start SLO violations and over-submission
+ * drops, repeated every cycle. The full stack sheds the unservable head
+ * of each burst at ingress, and brownout pins the fleet (scale-in is
+ * deferred while pressure persists), so later bursts land warm. Each row
+ * self-checks request conservation.
+ *
+ * Emits BENCH_overload.json plus a per-second shed/drop/breaker-state
+ * timeline (overload_timeline.csv) of one full-stack run at the highest
+ * multiplier. `--smoke` shrinks the sweep for CI. `--trace` additionally
+ * records that run's request lifecycle and breaker/brownout transition
+ * markers into a Perfetto-loadable overload_trace.json.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/harness.hh"
+#include "common/parallel_sweep.hh"
+#include "metrics/report.hh"
+#include "metrics/timeline.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using namespace infless;
+using namespace infless::bench;
+using metrics::fmt;
+using metrics::fmtPercent;
+using metrics::printHeading;
+using metrics::TextTable;
+
+enum class Defense
+{
+    None,
+    Admission,
+    Full
+};
+
+const char *
+defenseName(Defense d)
+{
+    switch (d) {
+      case Defense::None:
+        return "none";
+      case Defense::Admission:
+        return "admission";
+      case Defense::Full:
+        return "full";
+    }
+    return "?";
+}
+
+overload::OverloadConfig
+defenseConfig(Defense d)
+{
+    switch (d) {
+      case Defense::None:
+        return {};
+      case Defense::Admission: {
+        overload::OverloadConfig cfg;
+        cfg.admission.enabled = true;
+        return cfg;
+      }
+      case Defense::Full:
+        return overload::OverloadConfig::fullStack();
+    }
+    return {};
+}
+
+struct SweepConfig
+{
+    std::size_t servers = 8;
+    std::string model = "ResNet-50";
+    sim::Tick slo = 200 * sim::kTicksPerMs;
+    sim::Tick duration = 60 * sim::kTicksPerSec;
+    sim::Tick grace = 10 * sim::kTicksPerSec;
+    /** Burst train: `burstSec` at multiplier x capacity at the head of
+     *  every `periodSec`, base load in between. */
+    sim::Tick burstLen = 3 * sim::kTicksPerSec;
+    sim::Tick period = 10 * sim::kTicksPerSec;
+    double baseFraction = 0.4;
+    /** Calibration sweep bounds (the undefended capacity knee). */
+    double calibMaxOffered = 16'000.0;
+    sim::Tick calibDuration = 30 * sim::kTicksPerSec;
+    std::vector<double> multipliers = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
+    std::vector<Defense> defenses = {Defense::None, Defense::Admission,
+                                     Defense::Full};
+};
+
+/** Periodic burst train in 1s bins (the default bin is a whole minute,
+ *  which would silently round short durations up and skew every rate). */
+workload::RateSeries
+burstTrain(const SweepConfig &cfg, double multiplier, double capacity_rps)
+{
+    workload::RateSeries series;
+    series.binWidth = sim::kTicksPerSec;
+    auto bins =
+        static_cast<std::size_t>(cfg.duration / sim::kTicksPerSec);
+    series.rps.reserve(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+        sim::Tick phase =
+            (static_cast<sim::Tick>(b) * sim::kTicksPerSec) % cfg.period;
+        series.rps.push_back(phase < cfg.burstLen
+                                 ? multiplier * capacity_rps
+                                 : cfg.baseFraction * capacity_rps);
+    }
+    return series;
+}
+
+struct SweepPoint
+{
+    Defense defense = Defense::None;
+    double multiplier = 0.0;
+    ScenarioResult result;
+    /** Completions inside the nominal SLO, per second. */
+    double goodputRps = 0.0;
+    /** Completions inside the degraded (2x) SLO, per second. */
+    double degradedGoodputRps = 0.0;
+    double p99Ms = 0.0;
+    bool consistent = false;
+};
+
+SweepPoint
+runPoint(const SweepConfig &cfg, Defense defense, double multiplier,
+         double capacity_rps)
+{
+    SweepPoint point;
+    point.defense = defense;
+    point.multiplier = multiplier;
+
+    core::PlatformOptions opts;
+    opts.overload = defenseConfig(defense);
+    auto platform = makeSystem(SystemKind::Infless, cfg.servers,
+                               std::move(opts));
+
+    std::vector<WorkloadSpec> workloads(1);
+    workloads[0].model = cfg.model;
+    workloads[0].slo = cfg.slo;
+    workloads[0].series = burstTrain(cfg, multiplier, capacity_rps);
+
+    point.result = runScenario(*platform, workloads, cfg.grace);
+
+    const metrics::RunMetrics &m = platform->totalMetrics();
+    double run_sec = sim::ticksToSec(platform->simulation().now());
+    point.goodputRps =
+        static_cast<double>(m.completions() - m.sloViolations()) / run_sec;
+    sim::Tick degraded_slo = static_cast<sim::Tick>(
+        static_cast<double>(cfg.slo) *
+        overload::BrownoutConfig{}.degradedSloMultiplier);
+    point.degradedGoodputRps =
+        static_cast<double>(m.completions()) *
+        (1.0 - m.latency().fractionAbove(degraded_slo)) / run_sec;
+    point.p99Ms = sim::ticksToSec(m.latency().percentile(99.0)) * 1e3;
+    point.consistent = point.result.completions + point.result.drops ==
+                       point.result.arrivals;
+    return point;
+}
+
+/**
+ * Demo run for the timeline/trace artifacts: the bounded-queue + breaker
+ * + brownout stack (admission off, so SLO violations actually reach the
+ * breaker) at the highest multiplier, with an aggressive breaker tuning
+ * that guarantees open/half-open/close transitions inside even the smoke
+ * horizon. Runs on a deliberately undersized fixture: drops while new
+ * capacity is warming bypass the breaker as provisioning artifacts, so
+ * transitions need bursts that exceed what the *fully scaled* fleet can
+ * serve, and the sweep's cluster absorbs every multiplier once warm.
+ */
+constexpr std::size_t kDemoServers = 2;
+
+core::PlatformOptions
+demoOptions(bool with_trace)
+{
+    core::PlatformOptions opts;
+    opts.overload.queue.depthCap = 64;
+    opts.overload.queue.evictOldest = true;
+    opts.overload.breaker.enabled = true;
+    opts.overload.breaker.window = 2 * sim::kTicksPerSec;
+    opts.overload.breaker.windowBuckets = 8;
+    opts.overload.breaker.openThreshold = 0.3;
+    opts.overload.breaker.minSamples = 10;
+    opts.overload.breaker.openDuration = sim::kTicksPerSec;
+    opts.overload.breaker.probeFraction = 0.2;
+    opts.overload.retryBudget.enabled = true;
+    opts.overload.brownout.enabled = true;
+    opts.overload.brownout.minSamples = 30;
+    opts.overload.brownout.enterThreshold = 0.10;
+    opts.overload.brownout.minHold = 5 * sim::kTicksPerSec;
+    if (with_trace) {
+        opts.obs.trace.sampleRate = 1.0;
+        opts.obs.trace.capacity = std::size_t{1} << 17;
+    }
+    return opts;
+}
+
+SweepPoint
+runDemo(const SweepConfig &cfg, double capacity_rps, bool with_trace)
+{
+    double multiplier = cfg.multipliers.back();
+    auto platform = makeSystem(SystemKind::Infless, kDemoServers,
+                               demoOptions(with_trace));
+
+    std::vector<WorkloadSpec> workloads(1);
+    workloads[0].model = cfg.model;
+    workloads[0].slo = cfg.slo;
+    workloads[0].series = burstTrain(cfg, multiplier, capacity_rps);
+
+    metrics::TimelineSampler sampler(platform->simulation(),
+                                     sim::kTicksPerSec);
+    const auto &m = platform->totalMetrics();
+    sampler.trackCounter("sheds", [&m] {
+        return static_cast<double>(m.sheds() + m.breakerSheds());
+    });
+    sampler.trackCounter("drops", [&m] {
+        return static_cast<double>(m.drops());
+    });
+    sampler.trackCounter("evictions", [&m] {
+        return static_cast<double>(m.queueEvictions());
+    });
+    // Gauge series: the single demo function deploys as id 0.
+    sampler.track("breaker_state", [&p = *platform] {
+        return static_cast<double>(p.overloadSnapshot(0).breakerState);
+    });
+    sampler.track("brownout_active", [&p = *platform] {
+        return p.overloadSnapshot(0).brownoutActive ? 1.0 : 0.0;
+    });
+
+    SweepPoint point;
+    point.defense = Defense::Full;
+    point.multiplier = multiplier;
+    point.result = runScenario(*platform, workloads, cfg.grace);
+    point.consistent = point.result.completions + point.result.drops ==
+                       point.result.arrivals;
+
+    sampler.stop();
+    {
+        std::ofstream csv("overload_timeline.csv");
+        sampler.writeCsv(csv);
+    }
+    if (with_trace) {
+        std::ofstream ofs("overload_trace.json");
+        platform->tracer().writeChromeTrace(ofs);
+    }
+    if (telemetryEnabled()) {
+        // Written after the sweep rows so the breaker-state timeline
+        // survives the harness's last-writer-wins telemetry file.
+        obs::TelemetryRegistry telemetry =
+            buildTelemetry(*platform, "overload_burst");
+        telemetry.addTimeline(sampler);
+        writeTelemetryFiles(telemetry);
+    }
+    return point;
+}
+
+void
+writeBenchJson(const SweepConfig &cfg, double capacity_rps,
+               const std::vector<SweepPoint> &points,
+               const SweepPoint &demo, double none_2x, double full_2x,
+               const std::string &path)
+{
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"benchmark\": \"overload_burst\",\n"
+        << "  \"model\": \"" << cfg.model << "\",\n"
+        << "  \"servers\": " << cfg.servers << ",\n"
+        << "  \"slo_ms\": " << sim::ticksToSec(cfg.slo) * 1e3 << ",\n"
+        << "  \"duration_sec\": " << sim::ticksToSec(cfg.duration)
+        << ",\n"
+        << "  \"burst_sec\": " << sim::ticksToSec(cfg.burstLen) << ",\n"
+        << "  \"period_sec\": " << sim::ticksToSec(cfg.period) << ",\n"
+        << "  \"base_fraction\": " << cfg.baseFraction << ",\n"
+        << "  \"capacity_rps\": " << capacity_rps << ",\n"
+        << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        const ScenarioResult &r = p.result;
+        out << "    {\"defense\": \"" << defenseName(p.defense) << "\""
+            << ", \"multiplier\": " << p.multiplier
+            << ", \"offered_rps\": " << r.offeredRps
+            << ", \"completed_rps\": " << r.completedRps
+            << ", \"goodput_rps\": " << p.goodputRps
+            << ", \"degraded_goodput_rps\": " << p.degradedGoodputRps
+            << ", \"p99_ms\": " << p.p99Ms
+            << ", \"slo_violation_rate\": " << r.sloViolationRate
+            << ", \"arrivals\": " << r.arrivals
+            << ", \"completions\": " << r.completions
+            << ", \"drops\": " << r.drops
+            << ", \"sheds\": " << r.sheds
+            << ", \"breaker_sheds\": " << r.breakerSheds
+            << ", \"queue_evictions\": " << r.queueEvictions
+            << ", \"retry_budget_exhausted\": " << r.retryBudgetExhausted
+            << ", \"breaker_opens\": " << r.breakerOpens
+            << ", \"brownout_entries\": " << r.brownoutEntries
+            << ", \"truncated\": " << (r.truncated ? "true" : "false")
+            << ", \"consistent\": " << (p.consistent ? "true" : "false")
+            << "},\n";
+    }
+    const ScenarioResult &d = demo.result;
+    out << "    {\"defense\": \"demo\""
+        << ", \"multiplier\": " << demo.multiplier
+        << ", \"offered_rps\": " << d.offeredRps
+        << ", \"completed_rps\": " << d.completedRps
+        << ", \"sheds\": " << d.sheds
+        << ", \"breaker_sheds\": " << d.breakerSheds
+        << ", \"queue_evictions\": " << d.queueEvictions
+        << ", \"breaker_opens\": " << d.breakerOpens
+        << ", \"breaker_closes\": " << d.breakerCloses
+        << ", \"brownout_entries\": " << d.brownoutEntries
+        << ", \"truncated\": " << (d.truncated ? "true" : "false")
+        << ", \"consistent\": " << (demo.consistent ? "true" : "false")
+        << "}\n";
+    out << "  ],\n"
+        << "  \"goodput_2x_none\": " << none_2x << ",\n"
+        << "  \"goodput_2x_full\": " << full_2x << ",\n"
+        << "  \"graceful\": " << (full_2x >= none_2x ? "true" : "false")
+        << "\n"
+        << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool trace = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        if (std::strcmp(argv[i], "--trace") == 0)
+            trace = true;
+    }
+
+    SweepConfig cfg;
+    if (smoke) {
+        // CI-sized: fewer multipliers, short runs, a cheaper calibration
+        // ladder. The breaker/brownout demo still covers its state
+        // machine thanks to the aggressive demo tuning.
+        cfg.duration = 20 * sim::kTicksPerSec;
+        cfg.grace = 5 * sim::kTicksPerSec;
+        cfg.calibMaxOffered = 4'000.0;
+        cfg.calibDuration = 10 * sim::kTicksPerSec;
+        cfg.multipliers = {0.5, 2.0, 4.0};
+    }
+
+    printHeading(std::cout,
+                 "Overload burst: " + cfg.model + " on " +
+                     std::to_string(cfg.servers) +
+                     " servers; offered load x defense stack");
+
+    // Calibrate: the undefended system's goodput knee is the 1x point of
+    // the multiplier axis.
+    double capacity = measureMaxRps(SystemKind::Infless, {cfg.model},
+                                    cfg.slo, cfg.servers, {},
+                                    cfg.calibMaxOffered, cfg.calibDuration);
+    std::cout << "  calibrated capacity: " << fmt(capacity, 0)
+              << " RPS (undefended goodput knee)\n";
+
+    struct Cell
+    {
+        Defense defense = Defense::None;
+        double multiplier = 0.0;
+    };
+    std::vector<Cell> cells;
+    for (double mult : cfg.multipliers)
+        for (Defense defense : cfg.defenses)
+            cells.push_back({defense, mult});
+
+    std::vector<SweepPoint> points =
+        ParallelSweep::map(cells, [&cfg, capacity](const Cell &cell) {
+            return runPoint(cfg, cell.defense, cell.multiplier, capacity);
+        });
+
+    // Timeline/trace demo: serial, after the sweep, so its telemetry
+    // write is the file's last.
+    SweepPoint demo = runDemo(cfg, capacity, trace);
+
+    TextTable table({"defense", "load", "offered", "goodput",
+                     "degraded-goodput", "p99 ms", "viol rate", "sheds",
+                     "evictions", "consistent"});
+    bool all_consistent = true;
+    for (const SweepPoint &p : points) {
+        all_consistent = all_consistent && p.consistent;
+        table.addRow(
+            {defenseName(p.defense), fmt(p.multiplier, 1) + "x",
+             fmt(p.result.offeredRps, 0), fmt(p.goodputRps, 0),
+             fmt(p.degradedGoodputRps, 0), fmt(p.p99Ms, 1),
+             fmtPercent(p.result.sloViolationRate),
+             std::to_string(p.result.sheds + p.result.breakerSheds),
+             std::to_string(p.result.queueEvictions),
+             p.consistent ? "yes" : "NO"});
+    }
+    all_consistent = all_consistent && demo.consistent;
+    table.print(std::cout);
+
+    // Acceptance signal: at 2x offered load the full stack must hold at
+    // least the undefended goodput (graceful degradation, not collapse).
+    auto goodput_at = [&points](Defense defense, double mult) {
+        for (const SweepPoint &p : points)
+            if (p.defense == defense && p.multiplier == mult)
+                return p.goodputRps;
+        return 0.0;
+    };
+    double none_2x = goodput_at(Defense::None, 2.0);
+    double full_2x = goodput_at(Defense::Full, 2.0);
+    std::cout << "  goodput at 2x load: undefended " << fmt(none_2x, 0)
+              << " RPS vs full stack " << fmt(full_2x, 0) << " RPS ("
+              << (full_2x >= none_2x ? "graceful" : "NOT graceful")
+              << ")\n";
+
+    writeBenchJson(cfg, capacity, points, demo, none_2x, full_2x,
+                   "BENCH_overload.json");
+    std::cout << "  (rows written to BENCH_overload.json; shed/breaker "
+                 "timeline of the full-stack demo run in "
+                 "overload_timeline.csv)\n";
+
+    if (!all_consistent) {
+        std::cerr << "ERROR: request conservation violated "
+                     "(completions + drops != arrivals)\n";
+        return 1;
+    }
+    return 0;
+}

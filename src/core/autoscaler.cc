@@ -47,4 +47,12 @@ chooseDrains(const std::vector<InstanceRateInfo> &infos,
     return drains;
 }
 
+double
+scaleOutClaim(double measured_rps, double residual_rps, bool prioritized)
+{
+    if (prioritized)
+        return residual_rps;
+    return std::min(residual_rps, std::max(measured_rps * 0.25, 50.0));
+}
+
 } // namespace infless::core

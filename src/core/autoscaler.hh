@@ -32,6 +32,17 @@ chooseDrains(const std::vector<InstanceRateInfo> &infos,
              const std::vector<double> &weighted_cost, double measured_rps,
              double alpha);
 
+/**
+ * Per-tick scale-out claim for a function's residual load.
+ *
+ * Growing in bounded slices keeps one under-provisioned function from
+ * grabbing the whole cluster in a single tick and starving its peers.
+ * A prioritized function (brownout: the overload control plane asked
+ * for scale-out at full speed) claims its entire residual instead.
+ */
+double scaleOutClaim(double measured_rps, double residual_rps,
+                     bool prioritized);
+
 } // namespace infless::core
 
 #endif // INFLESS_CORE_AUTOSCALER_HH

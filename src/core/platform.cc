@@ -45,7 +45,7 @@ FunctionId
 Platform::deploy(const FunctionSpec &spec)
 {
     sim::simAssert(spec.maxBatch >= 1, "maxBatch must be >= 1");
-    FunctionState state(opts_.rateWindow);
+    FunctionState state(opts_.rateWindow, opts_.overload);
     state.spec = spec;
     state.model = &zoo_.get(spec.model);
     state.spec.maxBatch = std::min(spec.maxBatch, state.model->maxBatch);
@@ -192,6 +192,14 @@ Platform::run(sim::Tick until)
     // aggregates (idempotent: counters are absolute snapshots).
     total_.recordExecCache(execCache_.stats().hits,
                            execCache_.stats().misses);
+    // Conservation audit: every arrived request must be completed,
+    // dropped, or verifiably in flight. A truncated event engine may
+    // legitimately strand events, so only audit full runs.
+    if (!sim_.events().truncated()) {
+        std::string diag;
+        sim::simAssert(auditConservation(&diag),
+                       "request conservation violated:\n", diag);
+    }
 }
 
 double
@@ -297,7 +305,9 @@ Platform::ingestRequest(FunctionId fn, RequestIndex request)
 
     sim::Tick delay = ingressDelay();
     if (delay > 0) {
+        ++f.pendingIngress;
         sim_.afterFixed(delay, [this, fn, request] {
+            --functionState(fn).pendingIngress;
             routeRequest(fn, request);
         });
     } else {
@@ -310,6 +320,11 @@ Platform::routeRequest(FunctionId fn, RequestIndex request)
 {
     sim::Tick now = sim_.now();
     FunctionState &f = functionState(fn);
+
+    // Overload gate: the circuit breaker and the deadline-aware
+    // admission predicate both shed at ingress (no-op when disabled).
+    if (!admitRequest(fn, request))
+        return;
 
     // Draining instances stop receiving traffic, but serve as a fallback
     // while replacements are still cold-starting (make-before-break).
@@ -351,22 +366,17 @@ Platform::routeRequest(FunctionId fn, RequestIndex request)
     if (idx == std::numeric_limits<std::size_t>::max())
         idx = pick(true);
     if (idx == std::numeric_limits<std::size_t>::max() &&
-        now >= f.reconfigHold &&
-        now - f.lastReactive >= opts_.reactiveBackoff) {
-        // Reactive scale-out: the scaler tick has not caught up yet.
-        f.lastReactive = now;
-        double measured = f.rate.rps(now);
-        double residual = std::max(measured - aggregateRUp(f), 1.0);
-        auto plans = planScaleOut(f, residual);
-        for (const auto &plan : plans)
-            launchInstance(fn, plan, false);
-        if (!plans.empty())
-            refreshTargets(f);
+        maybeReactiveScaleOut(fn)) {
         idx = pick(false);
         if (idx == std::numeric_limits<std::size_t>::max())
             idx = pick(true);
     }
     if (idx == std::numeric_limits<std::size_t>::max()) {
+        // Last resort before giving up: evict the oldest *doomed*
+        // queued request fleet-wide (one already past its submission
+        // deadline) to seat this one.
+        if (opts_.overload.queue.evictOldest && tryEvictInto(fn, request))
+            return;
         const RequestRecord &record =
             requests_[static_cast<std::size_t>(request)];
         if (record.retried) {
@@ -500,6 +510,31 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
     metrics::LatencyBreakdown parts{cold, queue_time, exec_time};
     f.metrics.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
     total_.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
+
+    const overload::OverloadConfig &oc = opts_.overload;
+    if (oc.breaker.enabled || oc.brownout.enabled ||
+        oc.retryBudget.enabled) {
+        // Health feedback is judged against the *effective* SLO and only
+        // on the serving path (queue + exec): while brownout holds the
+        // degraded envelope, completions inside it must count as
+        // successes or the breaker can never close, and a cold-start
+        // wait is a provisioning event (admission's domain), not
+        // evidence that warm servers are overloaded. Reported metrics
+        // above stay pinned to the nominal SLO and full latency.
+        sim::Tick health_slo = effectiveSlo(f);
+        sim::Tick serving = parts.total() - parts.coldStart;
+        bool violated = health_slo > 0 && serving > health_slo;
+        if (oc.breaker.enabled) {
+            f.breaker.record(sim_.now(), violated);
+            noteBreakerTransitions(record.function, sim_.now());
+        }
+        if (oc.brownout.enabled) {
+            f.brownout.record(sim_.now(), violated);
+            noteBrownoutTransition(record.function, sim_.now());
+        }
+        if (oc.retryBudget.enabled)
+            f.retryBudget.onSuccess();
+    }
 
     if (tracer_.wants(request)) {
         cluster::ServerId server = rt.inst.serverId();
@@ -704,16 +739,18 @@ Platform::launchInstance(FunctionId fn, const LaunchPlan &plan,
         }
     }
     sim::Tick max_wait =
-        std::max<sim::Tick>(0, f.spec.sloTicks - plan.execPredicted);
+        std::max<sim::Tick>(0, effectiveSlo(f) - plan.execPredicted);
 
     std::size_t idx = instances_.size();
     instances_.push_back(InstanceRuntime{
         cluster::Instance(nextInstanceId_++, f.spec.name, plan.config,
                           plan.server, now, cold),
-        BatchQueue(plan.config.batchSize, max_wait), plan.bounds,
-        plan.execPredicted});
+        BatchQueue(plan.config.batchSize, max_wait,
+                   opts_.overload.queue.depthCap),
+        plan.bounds, plan.execPredicted});
     InstanceRuntime &rt = instances_.back();
     rt.targetRate = plan.bounds.up;
+    rt.warmExpectedAt = now + startup;
     rt.prewarmed = prewarmed_launch;
     rt.fn = fn;
     rt.generation = f.generation;
@@ -816,10 +853,34 @@ Platform::killInstance(std::size_t idx)
 void
 Platform::dropRequest(FunctionState &f, RequestIndex request, sim::Tick now)
 {
+    dropRequestInternal(f, request, now, true);
+}
+
+void
+Platform::dropRequestInternal(FunctionState &f, RequestIndex request,
+                              sim::Tick now, bool feed_health)
+{
     f.metrics.recordDrop(now);
     total_.recordDrop(now);
     const RequestRecord &record =
         requests_[static_cast<std::size_t>(request)];
+    if (feed_health) {
+        // A drop of an admitted request is a failure signal; sheds come
+        // through with feed_health off so an open breaker's own rejects
+        // cannot keep it open forever. Drops while cold capacity is
+        // still warming are a provisioning artifact, not evidence the
+        // warm servers are failing, so they bypass the breaker (but
+        // still count as brownout pressure — engaging during a scale-up
+        // storm is exactly brownout's job).
+        if (opts_.overload.breaker.enabled && !coldCapacityPending(f)) {
+            f.breaker.record(now, true);
+            noteBreakerTransitions(record.function, now);
+        }
+        if (opts_.overload.brownout.enabled) {
+            f.brownout.record(now, true);
+            noteBrownoutTransition(record.function, now);
+        }
+    }
     if (tracer_.wants(request)) {
         tracer_.record(obs::SpanKind::Drop, request, record.function, -1,
                        -1, now, 0);
@@ -841,6 +902,15 @@ Platform::failoverRequest(FunctionId fn, RequestIndex request)
         dropRequest(f, request, now);
         return;
     }
+    if (opts_.overload.retryBudget.enabled &&
+        !f.retryBudget.tryConsume()) {
+        // Budget dry: the function is not completing enough work to pay
+        // for re-dispatch. Fail fast instead of storming the cluster.
+        f.metrics.recordRetryBudgetExhausted();
+        total_.recordRetryBudgetExhausted();
+        dropRequest(f, request, now);
+        return;
+    }
     ++rec.retries;
     rec.retried = true;
     f.metrics.recordRetry(now);
@@ -849,9 +919,302 @@ Platform::failoverRequest(FunctionId fn, RequestIndex request)
         tracer_.record(obs::SpanKind::Retry, request, fn, -1, -1, now, 0);
     // Backoff, then re-enter the ordinary routing path (which may itself
     // trigger a reactive scale-out onto the surviving servers).
+    ++f.pendingRetries;
     sim_.afterFixed(rp.backoff(rec.retries), [this, fn, request] {
+        --functionState(fn).pendingRetries;
         routeRequest(fn, request);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Overload control plane
+// ---------------------------------------------------------------------------
+
+sim::Tick
+Platform::effectiveSlo(const FunctionState &f) const
+{
+    if (!opts_.overload.brownout.enabled ||
+        !f.brownout.relaxing(sim_.now()))
+        return f.spec.sloTicks;
+    return static_cast<sim::Tick>(static_cast<double>(f.spec.sloTicks) *
+                                  f.brownout.sloMultiplier());
+}
+
+bool
+Platform::coldCapacityPending(const FunctionState &f) const
+{
+    for (std::size_t idx : f.live) {
+        const InstanceRuntime &rt = instances_[idx];
+        if (!rt.draining && rt.warmAt == sim::kTickNever)
+            return true;
+    }
+    return false;
+}
+
+bool
+Platform::maybeReactiveScaleOut(FunctionId fn)
+{
+    // Reactive scale-out: the scaler tick has not caught up yet.
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+    if (now < f.reconfigHold ||
+        now - f.lastReactive < opts_.reactiveBackoff)
+        return false;
+    f.lastReactive = now;
+    double measured = f.rate.rps(now);
+    double residual = std::max(measured - aggregateRUp(f), 1.0);
+    auto plans = planScaleOut(f, residual);
+    for (const auto &plan : plans)
+        launchInstance(fn, plan, false);
+    if (!plans.empty())
+        refreshTargets(f);
+    return true;
+}
+
+bool
+Platform::admitRequest(FunctionId fn, RequestIndex request)
+{
+    const overload::OverloadConfig &oc = opts_.overload;
+    if (!oc.breaker.enabled && !oc.admission.enabled)
+        return true;
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+
+    if (oc.breaker.enabled) {
+        bool allowed = f.breaker.allow(now, request);
+        noteBreakerTransitions(fn, now);
+        if (!allowed) {
+            shedRequest(f, request, now, true);
+            return false;
+        }
+    }
+
+    if (oc.admission.enabled) {
+        // Predicted sojourn of the best-placed instance with room:
+        // cold-start remainder + batches queued ahead + its own batch.
+        sim::Tick best = sim::kTickNever;
+        bool any_room = false;
+        // Draining instances still serve queued work (routing falls back
+        // to them during make-before-break reconfigs), so they count as
+        // capacity here; excluding them sheds a full reconfig wave.
+        for (std::size_t idx : f.live) {
+            const InstanceRuntime &rt = instances_[idx];
+            if (!rt.queue.hasRoom())
+                continue;
+            any_room = true;
+            sim::Tick ready =
+                rt.warmAt == sim::kTickNever
+                    ? std::max<sim::Tick>(0, rt.warmExpectedAt - now)
+                    : 0;
+            auto per_batch = static_cast<sim::Tick>(
+                std::max(1, rt.queue.batchSize()));
+            sim::Tick batches_ahead =
+                static_cast<sim::Tick>(rt.queue.size()) / per_batch +
+                (rt.inst.state() == cluster::InstanceState::Busy ? 1 : 0);
+            sim::Tick predicted =
+                ready + (batches_ahead + 1) * rt.execPredicted;
+            best = std::min(best, predicted);
+        }
+        if (any_room) {
+            double slack = static_cast<double>(effectiveSlo(f)) *
+                           oc.admission.slackFactor;
+            if (static_cast<double>(best) > slack) {
+                shedRequest(f, request, now, false);
+                // A capacity-driven shed is also a scale-out signal:
+                // without this, shedding starves the reactive path in
+                // routeRequest and the fleet only grows on scaler
+                // ticks, so a cold burst stays unservable for longer.
+                maybeReactiveScaleOut(fn);
+                return false;
+            }
+        }
+        // No instance with room: fall through to the routing path, which
+        // can still scale out reactively or evict.
+    }
+    return true;
+}
+
+void
+Platform::shedRequest(FunctionState &f, RequestIndex request, sim::Tick now,
+                      bool breaker_shed)
+{
+    const RequestRecord &record =
+        requests_[static_cast<std::size_t>(request)];
+    if (breaker_shed) {
+        f.metrics.recordBreakerShed(now);
+        total_.recordBreakerShed(now);
+    } else {
+        f.metrics.recordShed(now);
+        total_.recordShed(now);
+    }
+    if (opts_.overload.brownout.enabled) {
+        // Shedding is itself overload pressure: it keeps brownout engaged
+        // while the admission gate is working hard.
+        f.brownout.record(now, true);
+        noteBrownoutTransition(record.function, now);
+    }
+    if (tracer_.wants(request)) {
+        tracer_.record(obs::SpanKind::Shed, request, record.function, -1,
+                       -1, now, 0);
+    }
+    dropRequestInternal(f, request, now, false);
+}
+
+bool
+Platform::tryEvictInto(FunctionId fn, RequestIndex request)
+{
+    sim::Tick now = sim_.now();
+    FunctionState &f = functionState(fn);
+    constexpr auto kNone = std::numeric_limits<std::size_t>::max();
+    std::size_t victim_idx = kNone;
+    sim::Tick oldest = sim::kTickNever;
+    for (std::size_t idx : f.live) {
+        const InstanceRuntime &rt = instances_[idx];
+        if (rt.draining || rt.queue.empty())
+            continue;
+        // Only a doomed head is evictable: one past its submission
+        // deadline (arrival + max_wait) will violate the SLO even if
+        // submitted right now, so trading it for a fresh request can
+        // only raise goodput. Evicting a viable head would be churn —
+        // under sustained saturation every arrival would bump a request
+        // that was about to be served.
+        if (rt.queue.headDeadline() > now)
+            continue;
+        if (rt.queue.headArrival() < oldest) {
+            oldest = rt.queue.headArrival();
+            victim_idx = idx;
+        }
+    }
+    if (victim_idx == kNone)
+        return false;
+
+    InstanceRuntime &rt = instances_[victim_idx];
+    RequestIndex victim = rt.queue.evictOldest();
+    f.metrics.recordQueueEviction();
+    total_.recordQueueEviction();
+    dropRequest(f, victim, now);
+    bool pushed = rt.queue.push(request, now);
+    sim::simAssert(pushed, "push failed after eviction");
+    rt.servedInEpoch += 1.0;
+    // The pending timeout aimed at the evicted head; re-aim at the new
+    // one (also covers the freshly pushed request becoming the head).
+    armTimeout(victim_idx);
+    tryStartBatch(victim_idx);
+    return true;
+}
+
+void
+Platform::noteBreakerTransitions(FunctionId fn, sim::Tick now)
+{
+    FunctionState &f = functionState(fn);
+    const auto &log = f.breaker.transitions();
+    for (std::size_t i = f.breakerTransitionsSeen; i < log.size(); ++i) {
+        const overload::BreakerTransition &t = log[i];
+        if (t.to == overload::BreakerState::Open) {
+            f.metrics.recordBreakerOpen();
+            total_.recordBreakerOpen();
+        } else if (t.to == overload::BreakerState::Closed) {
+            f.metrics.recordBreakerClose();
+            total_.recordBreakerClose();
+        }
+        if (tracer_.enabled()) {
+            obs::SpanKind kind =
+                t.to == overload::BreakerState::Open
+                    ? obs::SpanKind::BreakerOpen
+                    : t.to == overload::BreakerState::HalfOpen
+                          ? obs::SpanKind::BreakerHalfOpen
+                          : obs::SpanKind::BreakerClose;
+            tracer_.record(kind, -1, fn, -1, -1, t.at, 0);
+        }
+    }
+    f.breakerTransitionsSeen = log.size();
+    (void)now;
+}
+
+void
+Platform::noteBrownoutTransition(FunctionId fn, sim::Tick now)
+{
+    FunctionState &f = functionState(fn);
+    bool active = f.brownout.active();
+    if (active == f.lastBrownoutActive)
+        return;
+    f.lastBrownoutActive = active;
+    if (active) {
+        f.metrics.recordBrownoutEntry();
+        total_.recordBrownoutEntry();
+    } else {
+        f.metrics.recordBrownoutExit();
+        total_.recordBrownoutExit();
+    }
+    if (tracer_.enabled()) {
+        tracer_.record(active ? obs::SpanKind::BrownoutEnter
+                              : obs::SpanKind::BrownoutExit,
+                       -1, fn, -1, -1, now, 0);
+    }
+    // Re-aim live queue deadlines at the new effective SLO so the
+    // batching slack relaxes (and later restores) without waiting for
+    // fleet turnover.
+    for (std::size_t idx : f.live) {
+        InstanceRuntime &rt = instances_[idx];
+        rt.queue.setMaxWait(std::max<sim::Tick>(
+            0, effectiveSlo(f) - rt.execPredicted));
+        if (!rt.queue.empty())
+            armTimeout(idx);
+    }
+}
+
+OverloadSnapshot
+Platform::overloadSnapshot(FunctionId fn) const
+{
+    const FunctionState &f =
+        const_cast<Platform *>(this)->functionState(fn);
+    OverloadSnapshot snap;
+    snap.breakerState = f.breaker.state();
+    snap.brownoutActive = f.brownout.active();
+    snap.retryTokens = f.retryBudget.tokens();
+    snap.sheds = f.metrics.sheds();
+    snap.breakerSheds = f.metrics.breakerSheds();
+    snap.queueEvictions = f.metrics.queueEvictions();
+    snap.retryBudgetExhausted = f.metrics.retryBudgetExhausted();
+    return snap;
+}
+
+bool
+Platform::auditConservation(std::string *diagnostic) const
+{
+    bool ok = true;
+    for (std::size_t fi = 0; fi < functions_.size(); ++fi) {
+        const FunctionState &f = functions_[fi];
+        std::int64_t queued = 0;
+        std::int64_t executing = 0;
+        for (std::size_t idx : f.live) {
+            const InstanceRuntime &rt = instances_[idx];
+            queued += static_cast<std::int64_t>(rt.queue.size());
+            executing += static_cast<std::int64_t>(rt.inFlight.size());
+        }
+        std::int64_t in_flight =
+            queued + executing + f.pendingRetries + f.pendingIngress;
+        std::int64_t arrivals = f.metrics.arrivals();
+        std::int64_t settled =
+            f.metrics.completions() + f.metrics.drops();
+        if (arrivals == settled + in_flight)
+            continue;
+        ok = false;
+        if (diagnostic) {
+            *diagnostic +=
+                "function " + std::to_string(fi) + " (" + f.spec.name +
+                "): arrivals=" + std::to_string(arrivals) +
+                " completions=" + std::to_string(f.metrics.completions()) +
+                " drops=" + std::to_string(f.metrics.drops()) +
+                " in-flight=" + std::to_string(in_flight) + " (queued=" +
+                std::to_string(queued) + ", executing=" +
+                std::to_string(executing) + ", retry-wait=" +
+                std::to_string(f.pendingRetries) + ", ingress-wait=" +
+                std::to_string(f.pendingIngress) + ") leak=" +
+                std::to_string(arrivals - settled - in_flight) + "\n";
+        }
+    }
+    return ok;
 }
 
 void
@@ -1017,6 +1380,16 @@ Platform::scalerTick()
         FunctionState &f = functions_[fi];
         double measured = f.rate.rps(now);
 
+        bool browned_out = false;
+        if (opts_.overload.brownout.enabled) {
+            // The completion path only re-evaluates brownout on traffic;
+            // this periodic update lets a function whose load vanished
+            // recover once the hold expires.
+            f.brownout.update(now);
+            noteBrownoutTransition(static_cast<FunctionId>(fi), now);
+            browned_out = f.brownout.active();
+        }
+
         std::vector<InstanceRateInfo> infos;
         std::vector<double> costs;
         std::vector<std::size_t> mapping;
@@ -1050,9 +1423,10 @@ Platform::scalerTick()
             assess.residualRps > 0.01) {
             // Cap the per-tick claim: growing in bounded slices keeps one
             // under-provisioned function from grabbing the whole cluster
-            // in a single tick and starving its peers.
-            double claim = std::min(assess.residualRps,
-                                    std::max(measured * 0.25, 50.0));
+            // in a single tick and starving its peers. A browned-out
+            // function claims its full residual — capacity is the cure.
+            double claim =
+                scaleOutClaim(measured, assess.residualRps, browned_out);
             auto plans = planScaleOut(f, claim);
             for (const auto &plan : plans)
                 launchInstance(static_cast<FunctionId>(fi), plan, false);
@@ -1215,6 +1589,11 @@ Platform::continueReconfigure(FunctionId fn, double measured)
 std::vector<LaunchPlan>
 Platform::planScaleOut(FunctionState &f, double residual_rps)
 {
+    // Always plan against the nominal SLO, even under brownout: configs
+    // picked for the degraded envelope would keep violating the nominal
+    // SLO long after brownout exits (instances linger until the next
+    // reconfig). Brownout instead relaxes queue max-wait, which the
+    // exit path re-aims instantly.
     return scheduler_.schedule(*f.model, residual_rps, f.spec.sloTicks,
                                f.spec.maxBatch, cluster_);
 }

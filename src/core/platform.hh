@@ -42,6 +42,7 @@
 #include "obs/options.hh"
 #include "obs/prof_scope.hh"
 #include "obs/trace_recorder.hh"
+#include "overload/overload.hh"
 #include "profiler/cop.hh"
 #include "profiler/op_profile_db.hh"
 #include "sim/simulation.hh"
@@ -101,6 +102,12 @@ struct PlatformOptions
      * simulation output bit-identical.
      */
     obs::ObsOptions obs;
+    /**
+     * Overload control plane: deadline-aware admission, bounded queues,
+     * circuit breakers, retry budgets and brownout (all off by default;
+     * the disabled config is bit-identical to not having the subsystem).
+     */
+    overload::OverloadConfig overload;
 };
 
 /** Launch/served tallies of one instance configuration (Fig. 13). */
@@ -126,6 +133,18 @@ struct InstanceSnapshot
     double rLow = 0.0;
     /** Requests currently waiting in the batch queue. */
     std::size_t queueDepth = 0;
+};
+
+/** Point-in-time view of a function's overload defenses. */
+struct OverloadSnapshot
+{
+    overload::BreakerState breakerState = overload::BreakerState::Closed;
+    bool brownoutActive = false;
+    double retryTokens = 0.0;
+    std::int64_t sheds = 0;
+    std::int64_t breakerSheds = 0;
+    std::int64_t queueEvictions = 0;
+    std::int64_t retryBudgetExhausted = 0;
 };
 
 /**
@@ -271,6 +290,24 @@ class Platform
     /** Controller overhead histograms (empty unless profiling is on). */
     const obs::OverheadProfiler &overheads() const { return prof_; }
 
+    // Overload control plane ------------------------------------------------
+
+    /** Breaker/brownout/budget state of one function. */
+    OverloadSnapshot overloadSnapshot(FunctionId fn) const;
+
+    /**
+     * Request conservation: for every function,
+     * arrivals == completions + drops + in-flight, where in-flight spans
+     * live queues, executing batches, retry backoffs and the ingress
+     * delay stage. Checked automatically after every run() (unless the
+     * event engine truncated); public for tests.
+     *
+     * @param diagnostic When non-null, receives one line per leaking
+     *        function on failure.
+     * @return true when every function balances.
+     */
+    bool auditConservation(std::string *diagnostic = nullptr) const;
+
   protected:
     /** Runtime state of one instance. */
     struct InstanceRuntime
@@ -293,6 +330,9 @@ class Platform
          *  bumps the function's generation). */
         std::int64_t generation = 0;
         sim::Tick warmAt = sim::kTickNever;
+        /** Predicted end of the startup phase (admission control's
+         *  cold-start remainder; warmAt stays kTickNever until warm). */
+        sim::Tick warmExpectedAt = 0;
         sim::EventId timeoutEvent = sim::kNoEvent;
         sim::EventId expiryEvent = sim::kNoEvent;
         std::size_t usageKey = 0;
@@ -333,8 +373,26 @@ class Platform
         std::map<std::tuple<int, std::int64_t, std::int64_t>, std::size_t>
             usageIndex;
 
-        explicit FunctionState(sim::Tick rate_window)
-            : rate(rate_window)
+        // Overload control plane -------------------------------------------
+        overload::CircuitBreaker breaker;
+        overload::RetryBudget retryBudget;
+        overload::BrownoutController brownout;
+        /** Breaker transition-log entries already surfaced to
+         *  metrics/traces (a count, so multi-step transitions within one
+         *  event are all seen). */
+        std::size_t breakerTransitionsSeen = 0;
+        bool lastBrownoutActive = false;
+        /** Failover re-dispatches waiting out their backoff; part of the
+         *  conservation audit's in-flight term. */
+        std::int64_t pendingRetries = 0;
+        /** Requests inside the ingress-delay stage (OTP buffer); part of
+         *  the conservation audit's in-flight term. */
+        std::int64_t pendingIngress = 0;
+
+        FunctionState(sim::Tick rate_window,
+                      const overload::OverloadConfig &oc)
+            : rate(rate_window), breaker(oc.breaker),
+              retryBudget(oc.retryBudget), brownout(oc.brownout)
         {
         }
     };
@@ -424,9 +482,37 @@ class Platform
                          sim::Tick started, sim::Tick exec_time);
     /** Account one dropped request (function, total and chain metrics). */
     void dropRequest(FunctionState &f, RequestIndex request, sim::Tick now);
+    /** Drop with explicit control over breaker/brownout feedback (sheds
+     *  must not count as failures of admitted requests). */
+    void dropRequestInternal(FunctionState &f, RequestIndex request,
+                             sim::Tick now, bool feed_health);
     /** Re-dispatch a failure-lost request per the retry policy, or drop
      *  it when the budget is exhausted (exactly one drop per request). */
     void failoverRequest(FunctionId fn, RequestIndex request);
+
+    // Overload control plane --------------------------------------------------
+
+    /** SLO stretched by the brownout multiplier while the brownout
+     *  pressure window is hot (see BrownoutController::relaxing). */
+    sim::Tick effectiveSlo(const FunctionState &f) const;
+    /** True while any non-draining live instance is still cold-starting
+     *  (drops during provisioning bypass the breaker). */
+    bool coldCapacityPending(const FunctionState &f) const;
+    /** Backoff-limited reactive scale-out; true when an attempt ran
+     *  (shared by the routing dead-end and capacity-driven sheds). */
+    bool maybeReactiveScaleOut(FunctionId fn);
+    /** Breaker + admission gate at ingress; false = request was shed. */
+    bool admitRequest(FunctionId fn, RequestIndex request);
+    /** Account one shed (admission or breaker) and drop the request. */
+    void shedRequest(FunctionState &f, RequestIndex request, sim::Tick now,
+                     bool breaker_shed);
+    /** Evict the oldest queued request fleet-wide to seat @p request;
+     *  false when eviction is off or no queue has anything to evict. */
+    bool tryEvictInto(FunctionId fn, RequestIndex request);
+    /** Surface breaker state changes to metrics and the tracer. */
+    void noteBreakerTransitions(FunctionId fn, sim::Tick now);
+    /** Surface brownout enter/exit and re-aim live queue deadlines. */
+    void noteBrownoutTransition(FunctionId fn, sim::Tick now);
     double aggregateRUp(const FunctionState &fn) const;
     std::size_t usageKeyFor(FunctionState &fn,
                             const cluster::InstanceConfig &config);

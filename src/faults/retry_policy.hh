@@ -54,11 +54,18 @@ struct RetryPolicy
     backoff(int retry) const
     {
         double delay = static_cast<double>(initialBackoff);
+        const double cap = static_cast<double>(maxBackoff);
         for (int i = 1; i < retry; ++i) {
             delay *= multiplier;
-            if (delay >= static_cast<double>(maxBackoff))
+            if (delay >= cap)
                 break;
         }
+        // Saturate before the integer cast: with a large maxBackoff and
+        // enough attempts, `delay` can exceed Tick range (or reach inf),
+        // and converting such a double is undefined behavior. The
+        // negated comparison also catches NaN from degenerate configs.
+        if (!(delay < cap))
+            return std::max<sim::Tick>(1, maxBackoff);
         auto ticks = static_cast<sim::Tick>(delay);
         return std::clamp<sim::Tick>(ticks, 1, maxBackoff);
     }

@@ -96,6 +96,54 @@ RunMetrics::recordLostBatch(int requests)
     lostBatch_ += requests;
 }
 
+void
+RunMetrics::recordShed(sim::Tick)
+{
+    ++sheds_;
+}
+
+void
+RunMetrics::recordBreakerShed(sim::Tick)
+{
+    ++breakerSheds_;
+}
+
+void
+RunMetrics::recordQueueEviction()
+{
+    ++queueEvictions_;
+}
+
+void
+RunMetrics::recordRetryBudgetExhausted()
+{
+    ++retryBudgetExhausted_;
+}
+
+void
+RunMetrics::recordBreakerOpen()
+{
+    ++breakerOpens_;
+}
+
+void
+RunMetrics::recordBreakerClose()
+{
+    ++breakerCloses_;
+}
+
+void
+RunMetrics::recordBrownoutEntry()
+{
+    ++brownoutEntries_;
+}
+
+void
+RunMetrics::recordBrownoutExit()
+{
+    ++brownoutExits_;
+}
+
 sim::Tick
 RunMetrics::meanRestoreTicks() const
 {
@@ -219,6 +267,14 @@ RunMetrics::mergeCounters(const RunMetrics &other)
     retries_ += other.retries_;
     failovers_ += other.failovers_;
     lostBatch_ += other.lostBatch_;
+    sheds_ += other.sheds_;
+    breakerSheds_ += other.breakerSheds_;
+    queueEvictions_ += other.queueEvictions_;
+    retryBudgetExhausted_ += other.retryBudgetExhausted_;
+    breakerOpens_ += other.breakerOpens_;
+    breakerCloses_ += other.breakerCloses_;
+    brownoutEntries_ += other.brownoutEntries_;
+    brownoutExits_ += other.brownoutExits_;
     restoreTicksSum_ += other.restoreTicksSum_;
     latency_.merge(other.latency_);
     queueTime_.merge(other.queueTime_);

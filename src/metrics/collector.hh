@@ -82,6 +82,32 @@ class RunMetrics
     /** @p requests were mid-batch on an instance killed by a crash. */
     void recordLostBatch(int requests);
 
+    // Overload control plane ----------------------------------------------
+
+    /** Admission control shed a request at ingress (fail-fast). */
+    void recordShed(sim::Tick now);
+
+    /** An open/half-open circuit breaker shed a request at ingress. */
+    void recordBreakerShed(sim::Tick now);
+
+    /** The oldest queued request was evicted for a newcomer. */
+    void recordQueueEviction();
+
+    /** A failover was denied because the retry budget ran dry. */
+    void recordRetryBudgetExhausted();
+
+    /** A circuit breaker tripped open. */
+    void recordBreakerOpen();
+
+    /** A circuit breaker closed again after successful probes. */
+    void recordBreakerClose();
+
+    /** A function entered brownout (degraded-SLO) mode. */
+    void recordBrownoutEntry();
+
+    /** A function left brownout mode. */
+    void recordBrownoutExit();
+
     // Latency-surface cache (simulation engine) ---------------------------
 
     /** Snapshot the exec-model memo's hit/miss counters (absolute values;
@@ -104,6 +130,17 @@ class RunMetrics
     std::int64_t retries() const { return retries_; }
     std::int64_t failovers() const { return failovers_; }
     std::int64_t lostBatchRequests() const { return lostBatch_; }
+    std::int64_t sheds() const { return sheds_; }
+    std::int64_t breakerSheds() const { return breakerSheds_; }
+    std::int64_t queueEvictions() const { return queueEvictions_; }
+    std::int64_t retryBudgetExhausted() const
+    {
+        return retryBudgetExhausted_;
+    }
+    std::int64_t breakerOpens() const { return breakerOpens_; }
+    std::int64_t breakerCloses() const { return breakerCloses_; }
+    std::int64_t brownoutEntries() const { return brownoutEntries_; }
+    std::int64_t brownoutExits() const { return brownoutExits_; }
     std::uint64_t execCacheHits() const { return execCacheHits_; }
     std::uint64_t execCacheMisses() const { return execCacheMisses_; }
 
@@ -176,6 +213,14 @@ class RunMetrics
     std::int64_t retries_ = 0;
     std::int64_t failovers_ = 0;
     std::int64_t lostBatch_ = 0;
+    std::int64_t sheds_ = 0;
+    std::int64_t breakerSheds_ = 0;
+    std::int64_t queueEvictions_ = 0;
+    std::int64_t retryBudgetExhausted_ = 0;
+    std::int64_t breakerOpens_ = 0;
+    std::int64_t breakerCloses_ = 0;
+    std::int64_t brownoutEntries_ = 0;
+    std::int64_t brownoutExits_ = 0;
     sim::Tick restoreTicksSum_ = 0;
     std::uint64_t execCacheHits_ = 0;
     std::uint64_t execCacheMisses_ = 0;

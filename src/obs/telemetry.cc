@@ -135,6 +135,27 @@ TelemetryRegistry::addRunMetrics(const metrics::RunMetrics &m)
     counter("exec_cache_misses_total",
             static_cast<double>(m.execCacheMisses()),
             "Latency-cache pricings computed from the surface");
+    counter("sheds_total", static_cast<double>(m.sheds()),
+            "Requests shed by deadline-aware admission control");
+    counter("breaker_sheds_total", static_cast<double>(m.breakerSheds()),
+            "Requests shed by an open circuit breaker");
+    counter("queue_evictions_total",
+            static_cast<double>(m.queueEvictions()),
+            "Queued requests evicted to seat fresher arrivals");
+    counter("retry_budget_exhausted_total",
+            static_cast<double>(m.retryBudgetExhausted()),
+            "Retries denied by an empty retry budget");
+    counter("breaker_opens_total", static_cast<double>(m.breakerOpens()),
+            "Circuit breaker open transitions");
+    counter("breaker_closes_total",
+            static_cast<double>(m.breakerCloses()),
+            "Circuit breaker close transitions");
+    counter("brownout_entries_total",
+            static_cast<double>(m.brownoutEntries()),
+            "Functions entering degraded (brownout) mode");
+    counter("brownout_exits_total",
+            static_cast<double>(m.brownoutExits()),
+            "Functions leaving degraded (brownout) mode");
 
     gauge("slo_violation_rate", m.sloViolationRate(),
           "Fraction of requests violating the SLO (drops included)");

@@ -33,6 +33,18 @@ spanKindName(SpanKind kind)
         return "server_crash";
       case SpanKind::ServerRecovery:
         return "server_recovery";
+      case SpanKind::Shed:
+        return "shed";
+      case SpanKind::BreakerOpen:
+        return "breaker_open";
+      case SpanKind::BreakerHalfOpen:
+        return "breaker_half_open";
+      case SpanKind::BreakerClose:
+        return "breaker_close";
+      case SpanKind::BrownoutEnter:
+        return "brownout_enter";
+      case SpanKind::BrownoutExit:
+        return "brownout_exit";
     }
     return "?";
 }
@@ -164,6 +176,24 @@ isClusterEvent(SpanKind kind)
            kind == SpanKind::ServerRecovery;
 }
 
+/** Function-level overload control transitions: process-scoped markers
+ *  (like faults) but categorized separately and tagged with the
+ *  function id. */
+bool
+isOverloadEvent(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::BreakerOpen:
+      case SpanKind::BreakerHalfOpen:
+      case SpanKind::BreakerClose:
+      case SpanKind::BrownoutEnter:
+      case SpanKind::BrownoutExit:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
 
 void
@@ -203,6 +233,13 @@ TraceRecorder::writeChromeTrace(std::ostream &os) const
             os << "{\"ph\": \"i\", \"s\": \"p\", \"cat\": \"fault\", "
                << "\"name\": \"" << name << "\", \"pid\": " << pidOf(rec)
                << ", \"tid\": 0, \"ts\": " << rec.start << "}";
+            continue;
+        }
+        if (isOverloadEvent(rec.kind)) {
+            os << "{\"ph\": \"i\", \"s\": \"p\", \"cat\": \"overload\", "
+               << "\"name\": \"" << name << "\", \"pid\": " << pidOf(rec)
+               << ", \"tid\": 0, \"ts\": " << rec.start
+               << ", \"args\": {\"function\": " << rec.function << "}}";
             continue;
         }
         if (isInstant(rec.kind)) {

@@ -46,6 +46,12 @@ enum class SpanKind : std::uint8_t
     Retry,          ///< crash-lost request re-dispatched (instant)
     ServerCrash,    ///< injected server failure (cluster instant)
     ServerRecovery, ///< crashed server rejoined (cluster instant)
+    Shed,            ///< overload control shed the request (instant)
+    BreakerOpen,     ///< circuit breaker tripped open (function instant)
+    BreakerHalfOpen, ///< breaker started probing (function instant)
+    BreakerClose,    ///< breaker closed after probes (function instant)
+    BrownoutEnter,   ///< function entered degraded mode (instant)
+    BrownoutExit,    ///< function left degraded mode (instant)
 };
 
 /** Display name of a span kind (trace-event "name" field). */

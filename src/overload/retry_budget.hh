@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-function retry budget: a token bucket capping failover
+ * re-dispatches, refilled by successful completions.
+ */
+
+#ifndef INFLESS_OVERLOAD_RETRY_BUDGET_HH
+#define INFLESS_OVERLOAD_RETRY_BUDGET_HH
+
+#include <algorithm>
+
+namespace infless::overload {
+
+struct RetryBudgetConfig
+{
+    bool enabled = false;
+    /** Bucket capacity = maximum burst of back-to-back retries. */
+    double burst = 20.0;
+    /** Tokens earned per successful completion (0.1 = one retry per
+     *  ten successes at steady state). */
+    double refillPerSuccess = 0.1;
+};
+
+/**
+ * Token bucket tying retry capacity to recent success: a healthy
+ * function can always afford its occasional failover, while a cluster
+ * that stops completing work quickly runs out of tokens and fails
+ * crashed requests fast instead of storming the survivors.
+ *
+ * Refill is success-driven rather than time-driven, so the budget is a
+ * pure function of the request outcome sequence (deterministic).
+ */
+class RetryBudget
+{
+  public:
+    RetryBudget() = default;
+
+    explicit RetryBudget(const RetryBudgetConfig &config)
+        : config_(config), tokens_(config.burst)
+    {
+    }
+
+    /** Spend one token; false = budget exhausted, caller must drop. */
+    bool tryConsume()
+    {
+        if (!config_.enabled)
+            return true;
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    /** Credit one successful completion. */
+    void onSuccess()
+    {
+        tokens_ = std::min(config_.burst,
+                           tokens_ + config_.refillPerSuccess);
+    }
+
+    double tokens() const { return tokens_; }
+
+  private:
+    RetryBudgetConfig config_;
+    double tokens_ = 0.0;
+};
+
+} // namespace infless::overload
+
+#endif // INFLESS_OVERLOAD_RETRY_BUDGET_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bucketed sliding-window failure-rate estimator shared by the circuit
+ * breaker and the brownout controller.
+ */
+
+#ifndef INFLESS_OVERLOAD_ROLLING_RATE_HH
+#define INFLESS_OVERLOAD_ROLLING_RATE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace infless::overload {
+
+/**
+ * Success/failure counts over a sliding window of simulated time.
+ *
+ * The window is a ring of fixed-width buckets; each slot remembers the
+ * absolute bucket index it currently holds so reads can skip stale
+ * slots without mutating anything. Purely deterministic: state depends
+ * only on the (now, failure) sequence fed in.
+ */
+class RollingRate
+{
+  public:
+    RollingRate() : RollingRate(sim::kTicksPerSec, 8) {}
+
+    RollingRate(sim::Tick window, int buckets)
+        : bucketWidth_(std::max<sim::Tick>(
+              1, window / std::max(1, buckets))),
+          slots_(static_cast<std::size_t>(std::max(1, buckets)))
+    {
+    }
+
+    /** Record one outcome at @p now. */
+    void record(sim::Tick now, bool failure)
+    {
+        std::int64_t index = bucketIndex(now);
+        Slot &slot = slots_[static_cast<std::size_t>(index) %
+                            slots_.size()];
+        if (slot.index != index)
+            slot = Slot{0, 0, index};
+        slot.total += 1;
+        if (failure)
+            slot.failures += 1;
+    }
+
+    /** Outcomes inside the window ending at @p now. */
+    std::int64_t samples(sim::Tick now) const
+    {
+        std::int64_t total = 0;
+        forEachLive(now, [&](const Slot &s) { total += s.total; });
+        return total;
+    }
+
+    /** Failure fraction inside the window ending at @p now (0 if empty). */
+    double failureRate(sim::Tick now) const
+    {
+        std::int64_t total = 0;
+        std::int64_t failures = 0;
+        forEachLive(now, [&](const Slot &s) {
+            total += s.total;
+            failures += s.failures;
+        });
+        return total > 0 ? static_cast<double>(failures) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+
+    void reset()
+    {
+        for (Slot &slot : slots_)
+            slot = Slot{};
+    }
+
+  private:
+    struct Slot
+    {
+        std::int64_t total = 0;
+        std::int64_t failures = 0;
+        std::int64_t index = -1; ///< Absolute bucket index; -1 = empty.
+    };
+
+    std::int64_t bucketIndex(sim::Tick now) const
+    {
+        return static_cast<std::int64_t>(std::max<sim::Tick>(0, now) /
+                                         bucketWidth_);
+    }
+
+    template <typename Fn>
+    void forEachLive(sim::Tick now, Fn &&fn) const
+    {
+        std::int64_t current = bucketIndex(now);
+        std::int64_t oldest =
+            current - static_cast<std::int64_t>(slots_.size()) + 1;
+        for (const Slot &slot : slots_)
+            if (slot.index >= oldest && slot.index <= current)
+                fn(slot);
+    }
+
+    sim::Tick bucketWidth_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace infless::overload
+
+#endif // INFLESS_OVERLOAD_ROLLING_RATE_HH

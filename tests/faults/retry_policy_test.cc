@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "faults/retry_policy.hh"
 
 namespace {
@@ -51,6 +53,45 @@ TEST(RetryPolicyTest, BackoffNeverBelowOneTick)
     p.maxBackoff = kTicksPerSec;
     EXPECT_GE(p.backoff(1), 1);
     EXPECT_GE(p.backoff(5), 1);
+}
+
+TEST(RetryPolicyTest, BackoffSaturatesInsteadOfOverflowing)
+{
+    // With a huge cap the exponential growth exceeds Tick range long
+    // before the cap kicks in; the cast must saturate at maxBackoff
+    // instead of converting an out-of-range double (UB).
+    RetryPolicy p;
+    p.initialBackoff = infless::sim::kTicksPerHour;
+    p.maxBackoff = std::numeric_limits<infless::sim::Tick>::max() / 2;
+    p.multiplier = 10.0;
+    EXPECT_EQ(p.backoff(200), p.maxBackoff);
+    // Monotone non-decreasing all the way into saturation.
+    for (int k = 1; k < 64; ++k)
+        EXPECT_LE(p.backoff(k), p.backoff(k + 1));
+}
+
+TEST(RetryPolicyTest, BackoffNonIntegerMultiplierUnchangedByGuard)
+{
+    RetryPolicy p;
+    p.initialBackoff = 10 * kTicksPerMs;
+    p.maxBackoff = 2 * kTicksPerSec;
+    p.multiplier = 1.5;
+    // 10ms * 1.5^(k-1), truncated at the final cast — the historical
+    // values, pinned so the overflow guard cannot change them.
+    EXPECT_EQ(p.backoff(1), 10000);
+    EXPECT_EQ(p.backoff(2), 15000);
+    EXPECT_EQ(p.backoff(3), 22500);
+    EXPECT_EQ(p.backoff(4), 33750);
+    EXPECT_EQ(p.backoff(30), 2 * kTicksPerSec);
+}
+
+TEST(RetryPolicyTest, DegenerateZeroCapStillPositive)
+{
+    RetryPolicy p;
+    p.initialBackoff = 0;
+    p.maxBackoff = 0;
+    EXPECT_EQ(p.backoff(1), 1);
+    EXPECT_EQ(p.backoff(10), 1);
 }
 
 } // namespace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the brownout controller's enter/exit hysteresis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "overload/brownout.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using infless::overload::BrownoutConfig;
+using infless::overload::BrownoutController;
+using infless::sim::kTicksPerSec;
+using infless::sim::Tick;
+
+BrownoutConfig
+testConfig()
+{
+    BrownoutConfig cfg;
+    cfg.enabled = true;
+    cfg.window = kTicksPerSec;
+    cfg.windowBuckets = 4;
+    cfg.enterThreshold = 0.2;
+    cfg.exitThreshold = 0.05;
+    cfg.minSamples = 10;
+    cfg.minHold = 2 * kTicksPerSec;
+    cfg.degradedSloMultiplier = 2.0;
+    return cfg;
+}
+
+Tick
+feed(BrownoutController &b, Tick start, int n, bool overloaded)
+{
+    for (int i = 0; i < n; ++i)
+        b.record(start + i * 1000, overloaded);
+    return start + n * 1000;
+}
+
+TEST(BrownoutTest, DisabledNeverActivates)
+{
+    BrownoutController b; // default config: disabled
+    feed(b, 0, 100, true);
+    b.update(kTicksPerSec);
+    EXPECT_FALSE(b.active());
+    EXPECT_DOUBLE_EQ(b.sloMultiplier(), 1.0);
+    EXPECT_EQ(b.entries(), 0);
+}
+
+TEST(BrownoutTest, StaysOutBelowMinSamples)
+{
+    BrownoutController b(testConfig());
+    feed(b, 0, 9, true);
+    EXPECT_FALSE(b.active());
+}
+
+TEST(BrownoutTest, EntersUnderSustainedPressure)
+{
+    BrownoutController b(testConfig());
+    feed(b, 0, 8, false);
+    EXPECT_FALSE(b.active());
+    feed(b, 8000, 2, true); // 20% of 10 samples: engages
+    EXPECT_TRUE(b.active());
+    EXPECT_DOUBLE_EQ(b.sloMultiplier(), 2.0);
+    EXPECT_EQ(b.entries(), 1);
+}
+
+TEST(BrownoutTest, HoldsThroughEarlyRecovery)
+{
+    BrownoutController b(testConfig());
+    Tick t = feed(b, 0, 10, true);
+    ASSERT_TRUE(b.active());
+    // Clean traffic inside the hold: stays browned out (hysteresis).
+    feed(b, t, 20, false);
+    b.update(t + kTicksPerSec);
+    EXPECT_TRUE(b.active());
+    EXPECT_EQ(b.exits(), 0);
+}
+
+TEST(BrownoutTest, ExitsAfterHoldWhenPressureClears)
+{
+    BrownoutController b(testConfig());
+    feed(b, 0, 10, true);
+    ASSERT_TRUE(b.active());
+    // Past the hold with an empty (fully aged-out) window: rate 0.
+    b.update(5 * kTicksPerSec);
+    EXPECT_FALSE(b.active());
+    EXPECT_DOUBLE_EQ(b.sloMultiplier(), 1.0);
+    EXPECT_EQ(b.exits(), 1);
+}
+
+TEST(BrownoutTest, RelaxesOnlyWhileWindowIsHot)
+{
+    BrownoutController b(testConfig());
+    Tick t = feed(b, 0, 10, true);
+    ASSERT_TRUE(b.active());
+    EXPECT_TRUE(b.relaxing(t));
+
+    // Clean traffic inside the hold, spread wide enough to age the hot
+    // samples out of the 1s window: still browned out, but the deadline
+    // stretch reverts with the pressure.
+    t = kTicksPerSec + kTicksPerSec / 10;
+    for (int i = 0; i < 40; ++i, t += 20 * 1000)
+        b.record(t, false);
+    EXPECT_TRUE(b.active());
+    EXPECT_FALSE(b.relaxing(t));
+
+    // Pressure returns inside the hold: the stretch re-engages without
+    // a new entry.
+    t = feed(b, t, 40, true);
+    EXPECT_TRUE(b.active());
+    EXPECT_TRUE(b.relaxing(t));
+    EXPECT_EQ(b.entries(), 1);
+}
+
+TEST(BrownoutTest, ReentersOnRenewedPressure)
+{
+    BrownoutController b(testConfig());
+    feed(b, 0, 10, true);
+    b.update(5 * kTicksPerSec);
+    ASSERT_FALSE(b.active());
+    feed(b, 6 * kTicksPerSec, 10, true);
+    EXPECT_TRUE(b.active());
+    EXPECT_EQ(b.entries(), 2);
+}
+
+} // namespace

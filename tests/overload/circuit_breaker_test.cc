@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Deterministic unit tests for the circuit breaker state machine:
+ * closed -> open on failure rate, open -> half-open after the
+ * cool-down, half-open -> closed on probe successes or back to open on
+ * a probe failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "overload/circuit_breaker.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using infless::overload::BreakerConfig;
+using infless::overload::BreakerState;
+using infless::overload::breakerStateName;
+using infless::overload::CircuitBreaker;
+using infless::sim::kTicksPerSec;
+using infless::sim::Tick;
+
+BreakerConfig
+testConfig()
+{
+    BreakerConfig cfg;
+    cfg.enabled = true;
+    cfg.window = kTicksPerSec;
+    cfg.windowBuckets = 4;
+    cfg.openThreshold = 0.5;
+    cfg.minSamples = 10;
+    cfg.openDuration = kTicksPerSec;
+    cfg.probeFraction = 1.0; // every request is a probe while half-open
+    cfg.halfOpenSuccesses = 3;
+    return cfg;
+}
+
+/** Feed @p n outcomes at 1ms spacing starting at @p start. */
+Tick
+feed(CircuitBreaker &b, Tick start, int n, bool failure)
+{
+    for (int i = 0; i < n; ++i)
+        b.record(start + i * 1000, failure);
+    return start + n * 1000;
+}
+
+TEST(CircuitBreakerTest, DisabledAlwaysAllows)
+{
+    CircuitBreaker b; // default config: disabled
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(b.allow(i * 1000, i));
+        b.record(i * 1000, true);
+    }
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    EXPECT_TRUE(b.transitions().empty());
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowMinSamples)
+{
+    CircuitBreaker b(testConfig());
+    feed(b, 0, 9, true); // all failures, but under minSamples
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, OpensAtFailureThreshold)
+{
+    CircuitBreaker b(testConfig());
+    feed(b, 0, 5, false);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    feed(b, 5000, 5, true); // 50% over 10 samples: trips
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    ASSERT_EQ(b.transitions().size(), 1u);
+    EXPECT_EQ(b.transitions()[0].from, BreakerState::Closed);
+    EXPECT_EQ(b.transitions()[0].to, BreakerState::Open);
+}
+
+TEST(CircuitBreakerTest, ShedsWhileOpenUntilCooldown)
+{
+    CircuitBreaker b(testConfig());
+    Tick t = feed(b, 0, 10, true);
+    ASSERT_EQ(b.state(), BreakerState::Open);
+    // Inside the cool-down every request is shed.
+    EXPECT_FALSE(b.allow(t, 1));
+    EXPECT_FALSE(b.allow(b.openedAt() + kTicksPerSec - 1, 2));
+    EXPECT_EQ(b.state(), BreakerState::Open);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldownAndAdmitsProbes)
+{
+    CircuitBreaker b(testConfig());
+    feed(b, 0, 10, true);
+    Tick after = b.openedAt() + kTicksPerSec;
+    // probeFraction 1.0: the first request after the cool-down both
+    // advances to half-open and is admitted as a probe.
+    EXPECT_TRUE(b.allow(after, 42));
+    EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessesClose)
+{
+    CircuitBreaker b(testConfig());
+    feed(b, 0, 10, true);
+    Tick t = b.openedAt() + kTicksPerSec;
+    EXPECT_TRUE(b.allow(t, 0));
+    for (int i = 0; i < 3; ++i)
+        b.record(t + i, false);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    // closed -> open -> half-open -> closed.
+    ASSERT_EQ(b.transitions().size(), 3u);
+    EXPECT_EQ(b.transitions()[2].to, BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopens)
+{
+    CircuitBreaker b(testConfig());
+    feed(b, 0, 10, true);
+    Tick t = b.openedAt() + kTicksPerSec;
+    EXPECT_TRUE(b.allow(t, 0));
+    b.record(t, false);
+    b.record(t + 1, true); // one bad probe sends it straight back
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    EXPECT_EQ(b.openedAt(), t + 1);
+}
+
+TEST(CircuitBreakerTest, ZeroProbeFractionAdmitsNothingHalfOpen)
+{
+    BreakerConfig cfg = testConfig();
+    cfg.probeFraction = 0.0;
+    CircuitBreaker b(cfg);
+    feed(b, 0, 10, true);
+    Tick t = b.openedAt() + kTicksPerSec;
+    // Advances to half-open but the hash gate admits no request.
+    EXPECT_FALSE(b.allow(t, 0));
+    EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+    EXPECT_FALSE(b.allow(t + 1, 1));
+}
+
+TEST(CircuitBreakerTest, ProbeSelectionIsDeterministic)
+{
+    BreakerConfig cfg = testConfig();
+    cfg.probeFraction = 0.3;
+    auto decisions = [&cfg] {
+        CircuitBreaker b(cfg);
+        feed(b, 0, 10, true);
+        Tick t = b.openedAt() + kTicksPerSec;
+        std::vector<bool> out;
+        for (std::int64_t r = 0; r < 64; ++r)
+            out.push_back(b.allow(t + r, r));
+        return out;
+    };
+    auto a = decisions();
+    auto c = decisions();
+    EXPECT_EQ(a, c);
+    // Roughly probeFraction of requests pass (hash sampling, not all or
+    // nothing).
+    int admitted = 0;
+    for (bool x : a)
+        admitted += x ? 1 : 0;
+    EXPECT_GT(admitted, 0);
+    EXPECT_LT(admitted, 64);
+}
+
+TEST(CircuitBreakerTest, RecoveredWindowStaysClosed)
+{
+    CircuitBreaker b(testConfig());
+    feed(b, 0, 10, true);
+    Tick t = b.openedAt() + kTicksPerSec;
+    EXPECT_TRUE(b.allow(t, 0));
+    for (int i = 0; i < 3; ++i)
+        b.record(t + i, false);
+    ASSERT_EQ(b.state(), BreakerState::Closed);
+    // The pre-open failure window was reset on close: healthy traffic
+    // keeps it closed even though the old failures would still be
+    // inside the time window.
+    feed(b, t + 10, 10, false);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, StateNames)
+{
+    EXPECT_STREQ(breakerStateName(BreakerState::Closed), "closed");
+    EXPECT_STREQ(breakerStateName(BreakerState::Open), "open");
+    EXPECT_STREQ(breakerStateName(BreakerState::HalfOpen), "half_open");
+}
+
+} // namespace

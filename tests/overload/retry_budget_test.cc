@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the success-refilled retry-budget token bucket.
+ */
+
+#include <gtest/gtest.h>
+
+#include "overload/retry_budget.hh"
+
+namespace {
+
+using infless::overload::RetryBudget;
+using infless::overload::RetryBudgetConfig;
+
+RetryBudgetConfig
+enabledConfig(double burst, double refill)
+{
+    RetryBudgetConfig cfg;
+    cfg.enabled = true;
+    cfg.burst = burst;
+    cfg.refillPerSuccess = refill;
+    return cfg;
+}
+
+TEST(RetryBudgetTest, DisabledAlwaysAllows)
+{
+    RetryBudget budget; // default config: disabled
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(budget.tryConsume());
+}
+
+TEST(RetryBudgetTest, BurstBoundsConsecutiveRetries)
+{
+    RetryBudget budget(enabledConfig(3.0, 0.1));
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_FALSE(budget.tryConsume());
+    EXPECT_DOUBLE_EQ(budget.tokens(), 0.0);
+}
+
+TEST(RetryBudgetTest, SuccessesRefillTheBucket)
+{
+    // Refill 0.25 is exact in binary, so the token arithmetic below has
+    // no rounding slack: four successes buy exactly one retry.
+    RetryBudget budget(enabledConfig(3.0, 0.25));
+    while (budget.tryConsume()) {
+    }
+    for (int i = 0; i < 3; ++i)
+        budget.onSuccess();
+    EXPECT_FALSE(budget.tryConsume());
+    budget.onSuccess();
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_FALSE(budget.tryConsume());
+}
+
+TEST(RetryBudgetTest, RefillCapsAtBurst)
+{
+    RetryBudget budget(enabledConfig(2.0, 0.5));
+    for (int i = 0; i < 100; ++i)
+        budget.onSuccess();
+    EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_FALSE(budget.tryConsume());
+}
+
+TEST(RetryBudgetTest, ZeroBurstDeniesEverything)
+{
+    RetryBudget budget(enabledConfig(0.0, 0.5));
+    budget.onSuccess();
+    budget.onSuccess();
+    EXPECT_FALSE(budget.tryConsume());
+    EXPECT_DOUBLE_EQ(budget.tokens(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the sliding-window failure-rate estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "overload/rolling_rate.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using infless::overload::RollingRate;
+using infless::sim::kTicksPerSec;
+
+TEST(RollingRateTest, StartsEmpty)
+{
+    RollingRate rate(kTicksPerSec, 4);
+    EXPECT_EQ(rate.samples(0), 0);
+    EXPECT_DOUBLE_EQ(rate.failureRate(0), 0.0);
+}
+
+TEST(RollingRateTest, CountsOutcomesInsideWindow)
+{
+    RollingRate rate(kTicksPerSec, 4);
+    rate.record(0, false);
+    rate.record(100, true);
+    rate.record(200, true);
+    EXPECT_EQ(rate.samples(200), 3);
+    EXPECT_DOUBLE_EQ(rate.failureRate(200), 2.0 / 3.0);
+}
+
+TEST(RollingRateTest, OldBucketsExpire)
+{
+    RollingRate rate(kTicksPerSec, 4);
+    rate.record(0, true);
+    EXPECT_EQ(rate.samples(0), 1);
+    // One full window later the failure has aged out entirely.
+    rate.record(2 * kTicksPerSec, false);
+    EXPECT_EQ(rate.samples(2 * kTicksPerSec), 1);
+    EXPECT_DOUBLE_EQ(rate.failureRate(2 * kTicksPerSec), 0.0);
+}
+
+TEST(RollingRateTest, SlotReuseResetsStaleCounts)
+{
+    // 4 buckets of 250ms: bucket index wraps modulo 4, so an outcome at
+    // t=0 and one at t=1s land in the same slot; the later record must
+    // not inherit the earlier slot's counts.
+    RollingRate rate(kTicksPerSec, 4);
+    rate.record(0, true);
+    rate.record(kTicksPerSec, false);
+    EXPECT_EQ(rate.samples(kTicksPerSec), 1);
+    EXPECT_DOUBLE_EQ(rate.failureRate(kTicksPerSec), 0.0);
+}
+
+TEST(RollingRateTest, ResetClearsEverything)
+{
+    RollingRate rate(kTicksPerSec, 4);
+    rate.record(0, true);
+    rate.reset();
+    EXPECT_EQ(rate.samples(0), 0);
+    EXPECT_DOUBLE_EQ(rate.failureRate(0), 0.0);
+}
+
+} // namespace
