@@ -200,6 +200,19 @@ buildTelemetry(const core::Platform &platform, const std::string &benchmark)
                     "Fraction of aggregate server-uptime over the run");
     telemetry.gauge("mean_fragment_ratio", platform.meanFragmentRatio(),
                     "Time-weighted mean resource fragmentation");
+    // Event-engine churn: how much scheduling work was cancelled timers
+    // (keep-alive pushouts, batch re-arms) rather than useful events.
+    const sim::EventQueue &events = platform.simulation().events();
+    telemetry.counter("event_queue_cancellations_total",
+                      static_cast<double>(events.cancellations()),
+                      "Timer events cancelled over the run");
+    telemetry.counter("event_queue_compactions_total",
+                      static_cast<double>(events.compactions()),
+                      "Bulk dead-entry compactions run by the event heap");
+    telemetry.gauge("event_queue_dead_entry_ratio",
+                    events.deadEntryRatio(),
+                    "Fraction of the event heap occupied by cancelled "
+                    "entries at run end");
     return telemetry;
 }
 

@@ -36,18 +36,24 @@ class ParallelSweep
   public:
     /**
      * Worker count used when map() is called with threads == 0: the
-     * INFLESS_SWEEP_THREADS environment variable when set to a positive
-     * integer, otherwise hardware_concurrency (at least 1).
+     * INFLESS_SWEEP_THREADS environment variable clamped to
+     * hardware_concurrency, otherwise hardware_concurrency itself (at
+     * least 1 either way). An env value that fails to parse as a
+     * positive integer — "0", "-3", "abc", "8x" — falls back to 1
+     * rather than silently oversubscribing or crashing.
      */
     static std::size_t defaultThreads()
     {
+        unsigned hw_raw = std::thread::hardware_concurrency();
+        std::size_t hw = hw_raw == 0 ? 1 : hw_raw;
         if (const char *env = std::getenv("INFLESS_SWEEP_THREADS")) {
-            long n = std::strtol(env, nullptr, 10);
-            if (n > 0)
-                return static_cast<std::size_t>(n);
+            char *end = nullptr;
+            long n = std::strtol(env, &end, 10);
+            if (end == env || *end != '\0' || n <= 0)
+                return 1;
+            return std::min(static_cast<std::size_t>(n), hw);
         }
-        unsigned hw = std::thread::hardware_concurrency();
-        return hw == 0 ? 1 : hw;
+        return hw;
     }
 
     /**

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Sharded-control-plane scale benchmark (BENCH_scale.json).
+ *
+ * Not a paper figure. The cell partition's acceptance bar is
+ * quantitative: at 100k servers the multi-cell engine must sustain
+ * >= 3x the single-cell event throughput when >= 8 hardware threads are
+ * available. This binary drives the same pre-materialized traces through
+ * a flat (cells=1) and a sharded platform at 10k and 100k servers,
+ * measures events/sec and scheduler decisions/sec over the run() wall
+ * time, cross-checks that both ingest the identical arrival count, and
+ * writes the series to BENCH_scale.json. On boxes with fewer than 8
+ * hardware threads the speedup gate is reported as not applicable (the
+ * barriers and routing are pure overhead without parallel cells) while
+ * the throughput numbers are still emitted. `--smoke` runs the 10k
+ * points only, shortened for CI.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_platform.hh"
+#include "metrics/report.hh"
+#include "models/model_zoo.hh"
+#include "workload/generators.hh"
+
+namespace {
+
+using namespace infless;
+using metrics::fmt;
+using metrics::printHeading;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PointResult
+{
+    std::size_t servers = 0;
+    std::size_t cells = 0;
+    std::size_t threads = 0;
+    std::size_t functions = 0;
+    double durationSec = 0.0;
+    double constructSec = 0.0;
+    double wallSec = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t decisions = 0;
+    std::int64_t arrivals = 0;
+    std::int64_t completions = 0;
+    std::int64_t drops = 0;
+    int liveInstances = 0;
+
+    double eventsPerSec() const
+    {
+        return wallSec > 0.0 ? static_cast<double>(events) / wallSec : 0.0;
+    }
+    double decisionsPerSec() const
+    {
+        return wallSec > 0.0 ? static_cast<double>(decisions) / wallSec
+                             : 0.0;
+    }
+};
+
+/** The fixed workload of one scale point, shared by both cell configs. */
+struct ScaleWorkload
+{
+    std::vector<std::string> models;
+    std::vector<workload::ArrivalTrace> traces;
+    sim::Tick horizon = 0;
+};
+
+ScaleWorkload
+buildWorkload(std::size_t functions, double rps_per_fn, sim::Tick duration,
+              std::uint64_t seed)
+{
+    const auto &zoo = models::ModelZoo::shared();
+    ScaleWorkload w;
+    w.horizon = duration + 5 * sim::kTicksPerSec;
+    workload::RateSeries series =
+        workload::constantRate(rps_per_fn, duration);
+    for (std::size_t f = 0; f < functions; ++f) {
+        w.models.push_back(zoo.all()[f % zoo.all().size()].name);
+        // Traces are materialized ONCE per point and injected into every
+        // cell config, so flat and sharded runs see identical arrivals.
+        sim::Rng rng(sim::hashCombine(seed, f));
+        w.traces.push_back(
+            workload::ArrivalTrace::fromRateSeries(series, rng));
+    }
+    return w;
+}
+
+PointResult
+runPoint(std::size_t servers, std::size_t cells, const ScaleWorkload &w)
+{
+    PointResult r;
+    r.servers = servers;
+    r.cells = cells;
+    r.functions = w.models.size();
+    r.durationSec = sim::ticksToSec(w.horizon);
+
+    core::PlatformOptions opts;
+    opts.seed = 42;
+    core::CellOptions cell_opts;
+    cell_opts.cells = cells;
+
+    auto construct_start = Clock::now();
+    core::ShardedPlatform platform(servers, opts, cell_opts);
+    for (std::size_t f = 0; f < w.models.size(); ++f) {
+        core::FunctionSpec spec;
+        spec.name = w.models[f] + "-" + std::to_string(f);
+        spec.model = w.models[f];
+        auto fn = platform.deploy(spec);
+        platform.injectTrace(fn, w.traces[f]);
+    }
+    r.constructSec = secondsSince(construct_start);
+
+    r.threads = cells == 1
+                    ? 1
+                    : std::min(sim::WorkerPool::defaultThreads(), cells);
+
+    auto run_start = Clock::now();
+    platform.run(w.horizon);
+    r.wallSec = secondsSince(run_start);
+
+    r.events = platform.eventsExecuted();
+    r.decisions = platform.schedulerDecisions();
+    const auto &m = platform.totalMetrics();
+    r.arrivals = m.arrivals();
+    r.completions = m.completions();
+    r.drops = m.drops();
+    r.liveInstances = platform.liveInstanceCount();
+    return r;
+}
+
+void
+printPoint(const PointResult &r)
+{
+    std::cout << "  " << r.servers << " servers, " << r.cells
+              << (r.cells == 1 ? " cell:  " : " cells: ")
+              << fmt(r.eventsPerSec() / 1e3, 1) << " k events/s, "
+              << fmt(r.decisionsPerSec(), 1) << " decisions/s  ("
+              << r.events << " events in " << fmt(r.wallSec, 2)
+              << " s wall, " << r.completions << "/" << r.arrivals
+              << " completed, " << r.drops << " dropped)\n";
+}
+
+void
+emitPoint(std::ostream &out, const PointResult &r, bool last)
+{
+    out << "    {\n"
+        << "      \"servers\": " << r.servers << ",\n"
+        << "      \"cells\": " << r.cells << ",\n"
+        << "      \"threads\": " << r.threads << ",\n"
+        << "      \"functions\": " << r.functions << ",\n"
+        << "      \"duration_sec\": " << r.durationSec << ",\n"
+        << "      \"construct_sec\": " << r.constructSec << ",\n"
+        << "      \"wall_sec\": " << r.wallSec << ",\n"
+        << "      \"events\": " << r.events << ",\n"
+        << "      \"events_per_sec\": " << r.eventsPerSec() << ",\n"
+        << "      \"decisions\": " << r.decisions << ",\n"
+        << "      \"decisions_per_sec\": " << r.decisionsPerSec() << ",\n"
+        << "      \"arrivals\": " << r.arrivals << ",\n"
+        << "      \"completions\": " << r.completions << ",\n"
+        << "      \"drops\": " << r.drops << ",\n"
+        << "      \"live_instances\": " << r.liveInstances << "\n"
+        << "    }" << (last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    bool gate_applicable = hw >= 8;
+
+    printHeading(std::cout,
+                 std::string("Sharded control plane: scale (") +
+                     (smoke ? "smoke" : "full") + " workload, " +
+                     std::to_string(hw) + " hardware threads)");
+
+    struct Scale
+    {
+        std::size_t servers;
+        std::size_t cells;
+        std::size_t functions;
+        double rpsPerFn;
+        sim::Tick duration;
+    };
+    std::vector<Scale> scales;
+    if (smoke) {
+        scales.push_back({10'000, 8, 8, 50.0, 5 * sim::kTicksPerSec});
+    } else {
+        scales.push_back({10'000, 8, 32, 100.0, 30 * sim::kTicksPerSec});
+        scales.push_back({100'000, 16, 64, 100.0, 20 * sim::kTicksPerSec});
+    }
+
+    std::vector<PointResult> points;
+    bool arrivals_match = true;
+    double speedup_10k = 0.0;
+    double speedup_100k = 0.0;
+    for (const Scale &s : scales) {
+        ScaleWorkload w =
+            buildWorkload(s.functions, s.rpsPerFn, s.duration, s.servers);
+        PointResult flat = runPoint(s.servers, 1, w);
+        printPoint(flat);
+        PointResult sharded = runPoint(s.servers, s.cells, w);
+        printPoint(sharded);
+        if (flat.arrivals != sharded.arrivals)
+            arrivals_match = false;
+        double speedup = flat.eventsPerSec() > 0.0
+                             ? sharded.eventsPerSec() / flat.eventsPerSec()
+                             : 0.0;
+        std::cout << "    speedup: " << fmt(speedup, 2) << "x\n";
+        if (s.servers == 10'000)
+            speedup_10k = speedup;
+        else if (s.servers == 100'000)
+            speedup_100k = speedup;
+        points.push_back(flat);
+        points.push_back(sharded);
+    }
+
+    // The >= 3x bar only binds where the cells can actually run in
+    // parallel; a 1-2 core box measures barrier overhead, not scaling.
+    bool gate_pass =
+        !gate_applicable || smoke || speedup_100k >= 3.0;
+
+    std::ofstream out("BENCH_scale.json");
+    out << "{\n"
+        << "  \"benchmark\": \"scale_cells\",\n"
+        << "  \"schema_version\": 1,\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"hardware_threads\": " << hw << ",\n"
+        << "  \"arrivals_match\": " << (arrivals_match ? "true" : "false")
+        << ",\n"
+        << "  \"speedup_10k\": " << speedup_10k << ",\n"
+        << "  \"speedup_100k\": " << speedup_100k << ",\n"
+        << "  \"speedup_gate_applicable\": "
+        << (gate_applicable ? "true" : "false") << ",\n"
+        << "  \"speedup_gate_pass\": " << (gate_pass ? "true" : "false")
+        << ",\n"
+        << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i)
+        emitPoint(out, points[i], i + 1 == points.size());
+    out << "  ]\n}\n";
+    std::cout << "  (results written to BENCH_scale.json)\n";
+
+    if (!arrivals_match) {
+        std::cerr << "ERROR: sharded run ingested a different arrival "
+                     "count than the flat run\n";
+        return 1;
+    }
+    if (!gate_pass) {
+        std::cerr << "ERROR: multi-cell speedup at 100k servers below the "
+                     "3x bar on >= 8 hardware threads\n";
+        return 1;
+    }
+    return 0;
+}

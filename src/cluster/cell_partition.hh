@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Partitioning a server fleet into scheduling cells.
+ *
+ * A cell is a contiguous slice of the server-id space that one Platform
+ * instance owns exclusively: its own CapacityIndex, event queue and
+ * metrics shard. Contiguous near-equal slices keep the mapping trivial
+ * (cellOf is a comparison against precomputed bounds, not a hash) and
+ * make a cells=1 partition cover exactly the flat cluster.
+ */
+
+#ifndef INFLESS_CLUSTER_CELL_PARTITION_HH
+#define INFLESS_CLUSTER_CELL_PARTITION_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace infless::cluster {
+
+/** Half-open server-id range [begin, end) owned by one cell. */
+struct CellSlice
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+
+    bool operator==(const CellSlice &o) const = default;
+};
+
+/**
+ * Split @p num_servers into @p cells contiguous near-equal slices.
+ *
+ * The remainder of the floor division goes to the first slices, so sizes
+ * differ by at most one and every server belongs to exactly one slice.
+ *
+ * @throws std::invalid_argument when cells is zero or exceeds the number
+ *         of servers (an empty cell would have no placement targets).
+ */
+inline std::vector<CellSlice>
+partitionServers(std::size_t num_servers, std::size_t cells)
+{
+    if (cells == 0)
+        throw std::invalid_argument("partitionServers: cells must be > 0");
+    if (cells > num_servers)
+        throw std::invalid_argument(
+            "partitionServers: more cells than servers");
+    std::vector<CellSlice> slices(cells);
+    std::size_t base = num_servers / cells;
+    std::size_t extra = num_servers % cells;
+    std::size_t at = 0;
+    for (std::size_t c = 0; c < cells; ++c) {
+        std::size_t len = base + (c < extra ? 1 : 0);
+        slices[c] = CellSlice{at, at + len};
+        at += len;
+    }
+    return slices;
+}
+
+} // namespace infless::cluster
+
+#endif // INFLESS_CLUSTER_CELL_PARTITION_HH

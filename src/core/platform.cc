@@ -256,6 +256,31 @@ Platform::liveInstanceCount() const
 }
 
 std::int64_t
+Platform::queuedRequests() const
+{
+    std::int64_t total = 0;
+    for (const auto &f : functions_)
+        for (std::size_t idx : f.live)
+            total += static_cast<std::int64_t>(instances_[idx].queue.size());
+    return total;
+}
+
+std::int64_t
+Platform::inFlightRequests() const
+{
+    std::int64_t total = 0;
+    for (const auto &f : functions_) {
+        for (std::size_t idx : f.live) {
+            const InstanceRuntime &rt = instances_[idx];
+            total += static_cast<std::int64_t>(rt.queue.size());
+            total += static_cast<std::int64_t>(rt.inFlight.size());
+        }
+        total += f.pendingRetries + f.pendingIngress;
+    }
+    return total;
+}
+
+std::int64_t
 Platform::totalLaunches() const
 {
     return total_.launches();

@@ -234,6 +234,23 @@ class Platform
     /** Total live instances across functions. */
     int liveInstanceCount() const;
 
+    /** Requests waiting in batch queues across all live instances
+     *  (the load-digest component a cell router sees). */
+    std::int64_t queuedRequests() const;
+
+    /**
+     * Requests admitted but not yet settled: live queues, executing
+     * batches, retry backoffs and the ingress delay stage. Zero once a
+     * run has fully drained.
+     */
+    std::int64_t inFlightRequests() const;
+
+    /** Scheduling passes (Algorithm 1 invocations) run so far. */
+    std::uint64_t schedulerDecisions() const
+    {
+        return scheduler_.decisions();
+    }
+
     /** Instances ever launched. */
     std::int64_t totalLaunches() const;
 

@@ -143,6 +143,7 @@ GreedyScheduler::schedule(const models::ModelInfo &model,
                           cluster::Cluster &cluster) const
 {
     obs::ProfScope schedule_scope(profiler_, obs::Phase::Schedule);
+    ++decisions_;
     std::vector<LaunchPlan> plans;
     std::vector<int> batches = batchLadder(model, max_batch);
 
@@ -306,6 +307,7 @@ GreedyScheduler::scheduleNaive(const models::ModelInfo &model,
                                cluster::Cluster &cluster) const
 {
     obs::ProfScope schedule_scope(profiler_, obs::Phase::Schedule);
+    ++decisions_;
     std::vector<LaunchPlan> plans;
     std::vector<int> batches = batchLadder(model, max_batch);
 

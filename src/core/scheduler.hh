@@ -107,6 +107,12 @@ class GreedyScheduler
     std::int64_t instanceMemoryMb(const models::ModelInfo &model) const;
 
     /**
+     * Scheduling passes run so far (schedule() + scheduleNaive() calls).
+     * The scale bench divides this by wall time for decisions/sec.
+     */
+    std::uint64_t decisions() const { return decisions_; }
+
+    /**
      * Warm the COP memo for @p model over this scheduler's full
      * (batch ladder x config grid) so subsequent schedule() calls never
      * take a first-touch composition miss.
@@ -188,6 +194,9 @@ class GreedyScheduler
     SchedulerConfig config_;
     /** Optional overhead profiler (not owned; may be null). */
     obs::OverheadProfiler *profiler_ = nullptr;
+    /** Scheduling passes run (schedule() is const; the count is not
+     *  part of the scheduler's logical state). */
+    mutable std::uint64_t decisions_ = 0;
 };
 
 /**

@@ -1,0 +1,333 @@
+#include "core/sharded_platform.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace infless::core {
+
+namespace {
+
+/** Distinct substream keys off the run seed (arbitrary constants). */
+constexpr std::uint64_t kCellSeedKey = 0xCE11'0000ULL;
+constexpr std::uint64_t kRouterSeedKey = 0xF00D'D1CEULL;
+constexpr std::uint64_t kWorkloadSeedKey = 0x3AFE'57A7ULL;
+
+} // namespace
+
+ShardedPlatform::ShardedPlatform(std::size_t num_servers,
+                                 PlatformOptions opts, CellOptions cell_opts)
+    : numServers_(num_servers), cellOpts_(cell_opts),
+      beta_(opts.scheduler.beta),
+      slices_(cluster::partitionServers(num_servers, cell_opts.cells)),
+      workloadRng_(sim::hashCombine(opts.seed, kWorkloadSeedKey))
+{
+    sim::simAssert(cellOpts_.windowTicks > 0, "window must be positive");
+    cells_.reserve(slices_.size());
+    for (std::size_t c = 0; c < slices_.size(); ++c) {
+        PlatformOptions cell_opts_c = opts;
+        // The single-cell platform keeps the caller's seed untouched so
+        // cells=1 reproduces a flat Platform bit for bit.
+        if (slices_.size() > 1)
+            cell_opts_c.seed =
+                sim::hashCombine(opts.seed, kCellSeedKey + c);
+        cells_.push_back(std::make_unique<Platform>(
+            slices_[c].size(), std::move(cell_opts_c)));
+    }
+    router_ = std::make_unique<cluster::CellRouter>(
+        slices_.size(), sim::hashCombine(opts.seed, kRouterSeedKey));
+    lastDropStat_.assign(slices_.size(), 0);
+    routedTotal_.assign(slices_.size(), 0);
+    if (!delegated()) {
+        std::size_t threads = cellOpts_.threads != 0
+                                  ? cellOpts_.threads
+                                  : sim::WorkerPool::defaultThreads();
+        pool_ = std::make_unique<sim::WorkerPool>(
+            std::min(threads, slices_.size()));
+    }
+}
+
+ShardedPlatform::~ShardedPlatform() = default;
+
+FunctionId
+ShardedPlatform::deploy(const FunctionSpec &spec)
+{
+    FunctionId fn = cells_[0]->deploy(spec);
+    for (std::size_t c = 1; c < cells_.size(); ++c) {
+        FunctionId other = cells_[c]->deploy(spec);
+        sim::simAssert(other == fn, "cells disagree on function id");
+    }
+    return fn;
+}
+
+void
+ShardedPlatform::injectTrace(FunctionId fn, workload::ArrivalTrace trace)
+{
+    if (delegated()) {
+        cells_[0]->injectTrace(fn, std::move(trace));
+        return;
+    }
+    pending_.push_back(PendingFeed{fn, std::move(trace), 0});
+}
+
+void
+ShardedPlatform::injectRateSeries(FunctionId fn,
+                                  const workload::RateSeries &series)
+{
+    if (delegated()) {
+        cells_[0]->injectRateSeries(fn, series);
+        return;
+    }
+    sim::Rng rng =
+        workloadRng_.fork(static_cast<std::uint64_t>(fn) + 0x77);
+    injectTrace(fn, workload::ArrivalTrace::fromRateSeries(series, rng));
+}
+
+void
+ShardedPlatform::run(sim::Tick until)
+{
+    endTime_ = until;
+    if (delegated()) {
+        cells_[0]->run(until);
+        return;
+    }
+    sim::simAssert(until >= cursor_, "run() must move time forward");
+    do {
+        sim::Tick w_end = std::min(cursor_ + cellOpts_.windowTicks, until);
+        barrier(w_end, until);
+        pool_->parallelFor(cells_.size(), [this, w_end](std::size_t c) {
+            cells_[c]->run(w_end);
+        });
+        cursor_ = w_end;
+    } while (cursor_ < until);
+    mergedDirty_ = true;
+}
+
+void
+ShardedPlatform::scheduleServerCrash(cluster::ServerId id, sim::Tick at)
+{
+    if (delegated()) {
+        Platform *p = cells_[0].get();
+        p->simulation().at(std::max(at, p->simulation().now()),
+                           [p, id] { p->injectServerCrash(id); });
+        return;
+    }
+    faultCommands_.push_back(FaultCommand{id, at, true});
+}
+
+void
+ShardedPlatform::scheduleServerRecovery(cluster::ServerId id, sim::Tick at)
+{
+    if (delegated()) {
+        Platform *p = cells_[0].get();
+        p->simulation().at(std::max(at, p->simulation().now()),
+                           [p, id] { p->injectServerRecovery(id); });
+        return;
+    }
+    faultCommands_.push_back(FaultCommand{id, at, false});
+}
+
+std::pair<std::size_t, cluster::ServerId>
+ShardedPlatform::locate(cluster::ServerId global) const
+{
+    sim::simAssert(global >= 0 &&
+                       static_cast<std::size_t>(global) < numServers_,
+                   "bad global server id ", global);
+    auto g = static_cast<std::size_t>(global);
+    for (std::size_t c = 0; c < slices_.size(); ++c)
+        if (g < slices_[c].end)
+            return {c, static_cast<cluster::ServerId>(g -
+                                                      slices_[c].begin)};
+    return {0, 0}; // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Barrier work (serial, cell order — the determinism anchor)
+// ---------------------------------------------------------------------------
+
+void
+ShardedPlatform::barrier(sim::Tick window_end, sim::Tick until)
+{
+    refreshRouter();
+    applyFaultCommands(cursor_);
+    routeArrivals(window_end, until);
+}
+
+void
+ShardedPlatform::refreshRouter()
+{
+    std::vector<cluster::CellDigest> digests(cells_.size());
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        const Platform &p = *cells_[c];
+        cluster::CellDigest &d = digests[c];
+        d.weightedAvail = p.cluster().totalAvailable().weighted(beta_);
+        d.queueDepth = p.queuedRequests();
+        // Drop pressure: rejections since the previous barrier. Routing
+        // away from a shedding cell is the cross-cell face of reactive
+        // scale-out — spillover lands where capacity remains.
+        const metrics::RunMetrics &m = p.totalMetrics();
+        std::int64_t drop_stat =
+            m.drops() + m.sheds() + m.breakerSheds();
+        d.dropPressure = drop_stat - lastDropStat_[c];
+        lastDropStat_[c] = drop_stat;
+    }
+    router_->refresh(digests);
+}
+
+void
+ShardedPlatform::routeArrivals(sim::Tick window_end, sim::Tick until)
+{
+    // The last window of a run() is closed ([cursor, until]) because the
+    // engines execute events at exactly `until`; interior windows are
+    // half-open so a boundary arrival is injected into the window that
+    // executes it.
+    bool final_window = window_end == until;
+    std::vector<std::pair<sim::Tick, std::size_t>> window_arrivals;
+    for (std::size_t f = 0; f < pending_.size(); ++f) {
+        PendingFeed &feed = pending_[f];
+        const auto &ticks = feed.trace.arrivals();
+        while (feed.cursor < ticks.size() &&
+               (ticks[feed.cursor] < window_end ||
+                (final_window && ticks[feed.cursor] == window_end))) {
+            window_arrivals.emplace_back(ticks[feed.cursor], f);
+            ++feed.cursor;
+        }
+    }
+    if (window_arrivals.empty())
+        return;
+    // Global arrival order; ties keep feed-injection order (the pairs
+    // were pushed feed-major and stable_sort preserves that).
+    std::stable_sort(window_arrivals.begin(), window_arrivals.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::map<FunctionId, std::vector<sim::Tick>>> routed(
+        cells_.size());
+    for (const auto &[tick, feed_idx] : window_arrivals) {
+        std::size_t cell = router_->route();
+        routed[cell][pending_[feed_idx].fn].push_back(tick);
+        ++routedTotal_[cell];
+    }
+    for (std::size_t c = 0; c < cells_.size(); ++c)
+        for (auto &[fn, ticks] : routed[c])
+            cells_[c]->injectTrace(
+                fn, workload::ArrivalTrace(std::move(ticks)));
+    // Fully consumed feeds are dead weight; drop them front-compacted so
+    // feed order (the tie-break) is preserved.
+    std::size_t keep = 0;
+    for (std::size_t f = 0; f < pending_.size(); ++f) {
+        if (pending_[f].cursor >= pending_[f].trace.size())
+            continue;
+        if (keep != f)
+            pending_[keep] = std::move(pending_[f]);
+        ++keep;
+    }
+    pending_.resize(keep);
+}
+
+void
+ShardedPlatform::applyFaultCommands(sim::Tick barrier_tick)
+{
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < faultCommands_.size(); ++i) {
+        const FaultCommand &cmd = faultCommands_[i];
+        if (cmd.at > barrier_tick) {
+            faultCommands_[keep++] = cmd;
+            continue;
+        }
+        auto [cell, local] = locate(cmd.server);
+        if (cmd.down)
+            cells_[cell]->injectServerCrash(local);
+        else
+            cells_[cell]->injectServerRecovery(local);
+    }
+    faultCommands_.resize(keep);
+}
+
+// ---------------------------------------------------------------------------
+// Merged introspection
+// ---------------------------------------------------------------------------
+
+void
+ShardedPlatform::rebuildMerged() const
+{
+    merged_ = metrics::RunMetrics();
+    mergedFn_.assign(functionCount(), metrics::RunMetrics());
+    for (const auto &cell : cells_) {
+        merged_.mergeShard(cell->totalMetrics(), endTime_);
+        for (std::size_t fn = 0; fn < mergedFn_.size(); ++fn)
+            mergedFn_[fn].mergeShard(
+                cell->functionMetrics(static_cast<FunctionId>(fn)),
+                endTime_);
+    }
+    mergedDirty_ = false;
+}
+
+const metrics::RunMetrics &
+ShardedPlatform::totalMetrics() const
+{
+    if (delegated())
+        return cells_[0]->totalMetrics();
+    if (mergedDirty_)
+        rebuildMerged();
+    return merged_;
+}
+
+const metrics::RunMetrics &
+ShardedPlatform::functionMetrics(FunctionId fn) const
+{
+    if (delegated())
+        return cells_[0]->functionMetrics(fn);
+    if (mergedDirty_)
+        rebuildMerged();
+    return mergedFn_[static_cast<std::size_t>(fn)];
+}
+
+std::uint64_t
+ShardedPlatform::eventsExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cell : cells_)
+        total += cell->simulation().events().executed();
+    return total;
+}
+
+std::uint64_t
+ShardedPlatform::schedulerDecisions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cell : cells_)
+        total += cell->schedulerDecisions();
+    return total;
+}
+
+std::int64_t
+ShardedPlatform::queuedRequests() const
+{
+    std::int64_t total = 0;
+    for (const auto &cell : cells_)
+        total += cell->queuedRequests();
+    return total;
+}
+
+std::int64_t
+ShardedPlatform::inFlightRequests() const
+{
+    std::int64_t total = 0;
+    for (const auto &cell : cells_)
+        total += cell->inFlightRequests();
+    return total;
+}
+
+int
+ShardedPlatform::liveInstanceCount() const
+{
+    int total = 0;
+    for (const auto &cell : cells_)
+        total += cell->liveInstanceCount();
+    return total;
+}
+
+} // namespace infless::core

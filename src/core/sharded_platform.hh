@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Cell-partitioned control plane for very large fleets.
+ *
+ * One flat Platform serializes every scheduling decision, timer and
+ * metric update of the whole cluster through a single event queue; at
+ * 100k servers that queue is the bottleneck. ShardedPlatform splits the
+ * fleet into independent *cells* — each a full Platform over a
+ * contiguous server slice with its own CapacityIndex, EventQueue and
+ * metrics shard — fronted by a power-of-two-choices router over
+ * per-cell load digests.
+ *
+ * Time synchronization is conservative: cells advance in lockstep
+ * windows, and everything that crosses a cell boundary — router digest
+ * refreshes, newly routed arrivals, queued crash/recovery commands —
+ * is exchanged only at the window barriers. Within a window each cell
+ * touches nothing but its own state, so the cells run concurrently on a
+ * WorkerPool and the run is byte-identical for every thread count.
+ *
+ * Determinism contract:
+ *  - cells=1 delegates every call to the inner flat Platform (traces
+ *    injected upfront, one run) and is bit-identical to using Platform
+ *    directly.
+ *  - multi-cell runs depend only on (seed, cells, windowTicks, call
+ *    sequence): all barrier work runs serially in cell order and the
+ *    router draws from its own RNG stream.
+ */
+
+#ifndef INFLESS_CORE_SHARDED_PLATFORM_HH
+#define INFLESS_CORE_SHARDED_PLATFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cell_partition.hh"
+#include "cluster/cell_router.hh"
+#include "core/platform.hh"
+#include "sim/worker_pool.hh"
+
+namespace infless::core {
+
+/** Sharding configuration. */
+struct CellOptions
+{
+    /** Number of cells; 1 = delegate to a single flat Platform. */
+    std::size_t cells = 1;
+    /**
+     * Lockstep window length = digest refresh epoch. Shorter windows
+     * give the router a fresher view at the cost of more barriers; the
+     * default matches the reactive-scale-out backoff so spillover
+     * signals propagate within one backoff period.
+     */
+    sim::Tick windowTicks = 250 * sim::kTicksPerMs;
+    /** Worker threads for the per-cell engines; 0 = WorkerPool default
+     *  (INFLESS_CELL_THREADS, else hardware concurrency), clamped to
+     *  the cell count. */
+    std::size_t threads = 0;
+};
+
+/**
+ * A cluster of scheduling cells behind one Platform-shaped facade.
+ */
+class ShardedPlatform
+{
+  public:
+    /**
+     * @param num_servers Total fleet size, split into near-equal
+     *        contiguous slices (one per cell).
+     */
+    ShardedPlatform(std::size_t num_servers, PlatformOptions opts = {},
+                    CellOptions cell_opts = {});
+    ~ShardedPlatform();
+
+    ShardedPlatform(const ShardedPlatform &) = delete;
+    ShardedPlatform &operator=(const ShardedPlatform &) = delete;
+
+    // Deployment and workload ----------------------------------------------
+
+    /** Deploy a function into every cell; returns its (shared) id. */
+    FunctionId deploy(const FunctionSpec &spec);
+
+    /**
+     * Inject a pre-materialized arrival trace. With one cell this goes
+     * straight to the flat platform; with several the arrivals are
+     * routed window by window as the run reaches them.
+     */
+    void injectTrace(FunctionId fn, workload::ArrivalTrace trace);
+
+    /** Materialize and inject a rate series (Poisson arrivals). */
+    void injectRateSeries(FunctionId fn,
+                          const workload::RateSeries &series);
+
+    /**
+     * Advance the whole cluster to an absolute tick.
+     *
+     * Multi-cell: loops lockstep windows — refresh router digests,
+     * route the window's arrivals, apply queued fault commands, then
+     * run every cell to the window end on the worker pool.
+     */
+    void run(sim::Tick until);
+
+    // Fault control plane --------------------------------------------------
+
+    /**
+     * Queue a crash of global server @p id at tick @p at; applied at
+     * the first window barrier at or after @p at (conservative sync —
+     * never mid-window). Commands beyond the current run() horizon
+     * stay queued for the next run().
+     */
+    void scheduleServerCrash(cluster::ServerId id, sim::Tick at);
+
+    /** Queue a recovery of global server @p id at tick @p at. */
+    void scheduleServerRecovery(cluster::ServerId id, sim::Tick at);
+
+    // Introspection --------------------------------------------------------
+
+    std::size_t cellCount() const { return cells_.size(); }
+    const Platform &cell(std::size_t i) const { return *cells_[i]; }
+    const cluster::CellSlice &slice(std::size_t i) const
+    {
+        return slices_[i];
+    }
+    const cluster::CellRouter &router() const { return *router_; }
+
+    std::size_t totalServers() const { return numServers_; }
+    sim::Tick endTime() const { return endTime_; }
+    std::size_t functionCount() const { return cells_[0]->functionCount(); }
+
+    /** Aggregate metrics over all cells (cells=1: the flat metrics). */
+    const metrics::RunMetrics &totalMetrics() const;
+
+    /** Merged metrics of one function across cells. */
+    const metrics::RunMetrics &functionMetrics(FunctionId fn) const;
+
+    /** Events executed across every cell's engine. */
+    std::uint64_t eventsExecuted() const;
+
+    /** Scheduling passes run across every cell's scheduler. */
+    std::uint64_t schedulerDecisions() const;
+
+    /** Requests waiting in batch queues across all cells. */
+    std::int64_t queuedRequests() const;
+
+    /** Admitted-but-unsettled requests across all cells. */
+    std::int64_t inFlightRequests() const;
+
+    /** Live instances across all cells. */
+    int liveInstanceCount() const;
+
+    /** Requests routed to cell @p i over the whole run. */
+    std::int64_t routedTo(std::size_t i) const { return routedTotal_[i]; }
+
+  private:
+    /** One injected trace awaiting routing (multi-cell only). */
+    struct PendingFeed
+    {
+        FunctionId fn;
+        workload::ArrivalTrace trace;
+        std::size_t cursor = 0;
+    };
+
+    /** A queued cross-cell fault command. */
+    struct FaultCommand
+    {
+        cluster::ServerId server;
+        sim::Tick at;
+        bool down;
+    };
+
+    bool delegated() const { return cells_.size() == 1; }
+
+    /** Map a global server id to (cell, local id). */
+    std::pair<std::size_t, cluster::ServerId>
+    locate(cluster::ServerId global) const;
+
+    /** Serial barrier work: digests, routing, fault commands. */
+    void barrier(sim::Tick window_end, sim::Tick until);
+    void refreshRouter();
+    void routeArrivals(sim::Tick window_end, sim::Tick until);
+    void applyFaultCommands(sim::Tick barrier_tick);
+    void rebuildMerged() const;
+
+    std::size_t numServers_ = 0;
+    CellOptions cellOpts_;
+    double beta_;
+    std::vector<cluster::CellSlice> slices_;
+    std::vector<std::unique_ptr<Platform>> cells_;
+    std::unique_ptr<cluster::CellRouter> router_;
+    std::unique_ptr<sim::WorkerPool> pool_;
+    /** Workload materialization stream (multi-cell injectRateSeries). */
+    sim::Rng workloadRng_;
+
+    std::vector<PendingFeed> pending_;
+    std::vector<FaultCommand> faultCommands_;
+    /** drops+sheds baseline per cell for the digest's pressure delta. */
+    std::vector<std::int64_t> lastDropStat_;
+    std::vector<std::int64_t> routedTotal_;
+
+    sim::Tick cursor_ = 0;
+    sim::Tick endTime_ = 0;
+
+    /** Lazily rebuilt cross-cell merges (multi-cell only). */
+    mutable metrics::RunMetrics merged_;
+    mutable std::vector<metrics::RunMetrics> mergedFn_;
+    mutable bool mergedDirty_ = true;
+};
+
+} // namespace infless::core
+
+#endif // INFLESS_CORE_SHARDED_PLATFORM_HH

@@ -282,4 +282,16 @@ RunMetrics::mergeCounters(const RunMetrics &other)
     coldTime_.merge(other.coldTime_);
 }
 
+void
+RunMetrics::mergeShard(const RunMetrics &other, sim::Tick now)
+{
+    mergeCounters(other);
+    cpuCores_.merge(other.cpuCores_, now);
+    gpuDevices_.merge(other.gpuDevices_, now);
+    memoryMb_.merge(other.memoryMb_, now);
+    instances_.merge(other.instances_, now);
+    execCacheHits_ += other.execCacheHits_;
+    execCacheMisses_ += other.execCacheMisses_;
+}
+
 } // namespace infless::metrics

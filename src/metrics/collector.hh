@@ -198,6 +198,14 @@ class RunMetrics
     /** Merge counters of another collector (per-function -> total). */
     void mergeCounters(const RunMetrics &other);
 
+    /**
+     * Absorb a sibling cell's shard completely: counters, histograms,
+     * the time-weighted resource/instance signals (summed — cells
+     * partition the fleet) and the exec-cache tallies. Both shards'
+     * signals are closed at @p now, the common end of the run.
+     */
+    void mergeShard(const RunMetrics &other, sim::Tick now);
+
   private:
     std::int64_t arrivals_ = 0;
     std::int64_t completions_ = 0;

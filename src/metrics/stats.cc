@@ -147,4 +147,24 @@ TimeWeightedMean::integralUntil(sim::Tick now) const
     return integral;
 }
 
+void
+TimeWeightedMean::merge(const TimeWeightedMean &other, sim::Tick now)
+{
+    if (!other.started_)
+        return;
+    if (!started_) {
+        *this = other;
+        // Close the adopted window at the merge point so later merges
+        // into this shard integrate from a consistent last_.
+        update(now, value_);
+        return;
+    }
+    sim::simAssert(now >= last_ && now >= other.last_,
+                   "merge point precedes a shard's last update");
+    integral_ = integralUntil(now) + other.integralUntil(now);
+    value_ += other.value_;
+    start_ = std::min(start_, other.start_);
+    last_ = now;
+}
+
 } // namespace infless::metrics

@@ -85,6 +85,15 @@ class TimeWeightedMean
     /** Integral up to @p now including the running segment. */
     double integralUntil(sim::Tick now) const;
 
+    /**
+     * Absorb a sibling shard's signal: afterwards this mean tracks the
+     * SUM of the two signals (cells partition the fleet, so cluster-wide
+     * instance counts and allocations are the sum over cells). Both
+     * shards are closed at @p now; the merged window starts at the
+     * earlier of the two starts.
+     */
+    void merge(const TimeWeightedMean &other, sim::Tick now);
+
   private:
     sim::Tick start_ = 0;
     sim::Tick last_ = 0;

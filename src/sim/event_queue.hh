@@ -121,6 +121,7 @@ class EventQueue
             return false;
         freeSlot(slot_idx);
         --pending_;
+        ++cancellations_;
         // The entry stays in the heap (lazy deletion), but once dead
         // entries outnumber live ones a bulk compaction pays for itself:
         // timer-heavy runs cancel most of what they schedule, and
@@ -189,6 +190,30 @@ class EventQueue
 
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
+
+    // Cancellation/compaction statistics -----------------------------------
+    // Measured since the queue's first use; exported through the
+    // telemetry registry so timer-heavy runs can see how much of their
+    // scheduling work is churn.
+
+    /** Successful cancel() calls over the queue's lifetime. */
+    std::uint64_t cancellations() const { return cancellations_; }
+
+    /** Bulk dead-entry compactions run over the queue's lifetime. */
+    std::uint64_t compactions() const { return compactions_; }
+
+    /** Cancelled entries currently occupying heap space. */
+    std::size_t deadEntries() const { return deadInHeap_; }
+
+    /** Fraction of the heap occupied by cancelled entries (0 when the
+     *  heap is empty). */
+    double
+    deadEntryRatio() const
+    {
+        return heap_.empty() ? 0.0
+                             : static_cast<double>(deadInHeap_) /
+                                   static_cast<double>(heap_.size());
+    }
 
   private:
     /** Initial capacity; avoids growth reallocations early on. */
@@ -343,6 +368,7 @@ class EventQueue
     void
     compact()
     {
+        ++compactions_;
         std::size_t kept = 0;
         for (const Entry &e : heap_) {
             if (slots_[e.slot].gen == e.gen)
@@ -395,6 +421,8 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t cancellations_ = 0;
+    std::uint64_t compactions_ = 0;
     bool truncated_ = false;
 };
 

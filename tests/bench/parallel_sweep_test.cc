@@ -14,7 +14,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -99,6 +101,58 @@ TEST(ParallelSweepTest, PropagatesTheFirstException)
                      },
                      4),
                  std::runtime_error);
+}
+
+class SweepThreadsEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const char *cur = std::getenv("INFLESS_SWEEP_THREADS");
+        saved_ = cur ? cur : "";
+        had_ = cur != nullptr;
+    }
+    void TearDown() override
+    {
+        if (had_)
+            setenv("INFLESS_SWEEP_THREADS", saved_.c_str(), 1);
+        else
+            unsetenv("INFLESS_SWEEP_THREADS");
+    }
+
+    static std::size_t hardware()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : hw;
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST_F(SweepThreadsEnv, DefaultThreadsClampsEnvToHardware)
+{
+    // A fleet-sized request cannot oversubscribe the local box.
+    setenv("INFLESS_SWEEP_THREADS", "100000", 1);
+    EXPECT_EQ(ParallelSweep::defaultThreads(), hardware());
+    setenv("INFLESS_SWEEP_THREADS", "1", 1);
+    EXPECT_EQ(ParallelSweep::defaultThreads(), 1u);
+}
+
+TEST_F(SweepThreadsEnv, DefaultThreadsFallsBackToOneOnGarbage)
+{
+    for (const char *bad : {"0", "-3", "abc", "8x", ""}) {
+        setenv("INFLESS_SWEEP_THREADS", bad, 1);
+        EXPECT_EQ(ParallelSweep::defaultThreads(), 1u)
+            << "env value \"" << bad << "\"";
+    }
+}
+
+TEST_F(SweepThreadsEnv, DefaultThreadsUsesHardwareWhenUnset)
+{
+    unsetenv("INFLESS_SWEEP_THREADS");
+    EXPECT_EQ(ParallelSweep::defaultThreads(), hardware());
 }
 
 TEST(KneeFromGoodputsTest, ReplaysSerialEarlyExit)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "cluster/capacity_index.hh"
@@ -151,6 +152,76 @@ TEST(CapacityIndexTest, BestFitMatchesLinearScan)
             live.pop_back();
         }
     }
+}
+
+TEST(CapacityIndexTest, StaysConsistentUnderServerChurn)
+{
+    // Down/up churn interleaved with allocations, releases and placement
+    // probes: the index must track the live population exactly (a down
+    // server leaves its class; recovery re-joins with its allocations
+    // intact) and both probes must keep matching the linear scans.
+    Cluster c(10);
+    Rng rng(123);
+    struct Alloc
+    {
+        ServerId server;
+        Resources res;
+    };
+    std::vector<Alloc> live;
+    std::vector<bool> down(c.size(), false);
+    for (int step = 0; step < 600; ++step) {
+        double move = rng.uniform();
+        if (move < 0.20) {
+            // Crash a random up server (its allocations stay booked).
+            ServerId id = static_cast<ServerId>(
+                rng.uniformInt(0, static_cast<std::int64_t>(c.size()) - 1));
+            if (!down[static_cast<std::size_t>(id)]) {
+                c.setServerDown(id);
+                down[static_cast<std::size_t>(id)] = true;
+            }
+        } else if (move < 0.40) {
+            // Recover a random down server.
+            ServerId id = static_cast<ServerId>(
+                rng.uniformInt(0, static_cast<std::int64_t>(c.size()) - 1));
+            if (down[static_cast<std::size_t>(id)]) {
+                c.setServerUp(id);
+                down[static_cast<std::size_t>(id)] = false;
+            }
+        } else if (move < 0.75) {
+            // Place through the index and cross-check both probes.
+            Resources req{rng.uniformInt(0, 8) * 2000,
+                          rng.uniformInt(0, 10) * 20,
+                          rng.uniformInt(1, 48) * 1024};
+            ServerId first = c.firstFit(req);
+            ASSERT_EQ(first, naiveFirstFit(c, req)) << "step " << step;
+            ASSERT_EQ(c.bestFit(req, kDefaultBeta),
+                      naiveBestFit(c, req, kDefaultBeta))
+                << "step " << step;
+            if (first != kNoServer && !req.isZero()) {
+                ASSERT_FALSE(down[static_cast<std::size_t>(first)]);
+                ASSERT_TRUE(c.allocate(first, req));
+                live.push_back({first, req});
+            }
+        } else if (!live.empty()) {
+            // Release — legal even on a down server (crashed instances
+            // hand their resources back before the machine recovers).
+            std::size_t pick = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            c.release(live[pick].server, live[pick].res);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+        ASSERT_TRUE(c.capacityIndex().consistentWith(c.servers()))
+            << "step " << step;
+        ASSERT_EQ(c.downServers(),
+                  static_cast<std::size_t>(
+                      std::count(down.begin(), down.end(), true)));
+    }
+    // Allocating on a down server must refuse outright.
+    c.setServerDown(0);
+    EXPECT_FALSE(c.allocate(0, Resources{1000, 0, 512}));
+    c.setServerUp(0);
+    EXPECT_TRUE(c.allocate(0, Resources{1000, 0, 512}));
 }
 
 TEST(CapacityIndexTest, BestFitPrefersLowestIdOnWeightedTie)

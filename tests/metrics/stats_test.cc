@@ -157,4 +157,49 @@ TEST(TimeWeightedMeanTest, CurrentReflectsLastValue)
     EXPECT_DOUBLE_EQ(m.current(), 7.5);
 }
 
+TEST(TimeWeightedMeanTest, MergeSumsSignals)
+{
+    // Two shards tracking disjoint fleet slices: the merged signal is
+    // their sum, integral and current value alike.
+    TimeWeightedMean a;
+    a.update(0, 2.0);
+    a.update(50, 4.0); // integral 100 by t=50
+    TimeWeightedMean b;
+    b.update(0, 1.0); // integral 100 by t=100
+
+    a.merge(b, 100);
+    // a alone: 100 + 4*50 = 300; b alone: 100. Sum 400 over [0, 100].
+    EXPECT_DOUBLE_EQ(a.integralUntil(100), 400.0);
+    EXPECT_DOUBLE_EQ(a.meanUntil(100), 4.0);
+    EXPECT_DOUBLE_EQ(a.current(), 5.0);
+    // The merged signal keeps integrating the summed rate.
+    EXPECT_DOUBLE_EQ(a.integralUntil(110), 450.0);
+}
+
+TEST(TimeWeightedMeanTest, MergeWithUnstartedShardIsIdentity)
+{
+    TimeWeightedMean a;
+    a.update(0, 3.0);
+    TimeWeightedMean empty;
+    a.merge(empty, 100);
+    EXPECT_DOUBLE_EQ(a.meanUntil(100), 3.0);
+
+    // And merging INTO an unstarted shard adopts the other signal.
+    TimeWeightedMean fresh;
+    fresh.merge(a, 100);
+    EXPECT_DOUBLE_EQ(fresh.integralUntil(100), a.integralUntil(100));
+    EXPECT_DOUBLE_EQ(fresh.current(), 3.0);
+}
+
+TEST(TimeWeightedMeanTest, MergeOfLateStarterKeepsEarliestWindow)
+{
+    TimeWeightedMean a;
+    a.update(100, 10.0);
+    TimeWeightedMean b;
+    b.update(0, 2.0);
+    a.merge(b, 200);
+    // Window opens at b's start: (10*100 + 2*200) / 200.
+    EXPECT_DOUBLE_EQ(a.meanUntil(200), 7.0);
+}
+
 } // namespace

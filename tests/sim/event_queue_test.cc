@@ -319,4 +319,52 @@ TEST(EventQueueTest, ManyFixedEventsStressOrdering)
     EXPECT_EQ(q.executed(), 10'000u);
 }
 
+TEST(EventQueueTest, CancellationStatsCountOnlySuccessfulCancels)
+{
+    EventQueue q;
+    EXPECT_EQ(q.cancellations(), 0u);
+    EXPECT_EQ(q.deadEntries(), 0u);
+    EXPECT_EQ(q.deadEntryRatio(), 0.0);
+
+    auto a = q.schedule(10, [] {});
+    auto b = q.schedule(20, [] {});
+    q.scheduleFixed(30, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_EQ(q.cancellations(), 1u);
+    EXPECT_EQ(q.deadEntries(), 1u);
+    // 1 dead of 3 heap entries.
+    EXPECT_NEAR(q.deadEntryRatio(), 1.0 / 3.0, 1e-12);
+
+    // Repeated / invalid cancels do not inflate the counter.
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_EQ(q.cancellations(), 1u);
+    EXPECT_TRUE(q.cancel(b));
+    EXPECT_EQ(q.cancellations(), 2u);
+
+    q.runAll();
+    EXPECT_EQ(q.deadEntries(), 0u);
+    EXPECT_EQ(q.deadEntryRatio(), 0.0);
+    EXPECT_EQ(q.cancellations(), 2u); // lifetime counter survives drains
+}
+
+TEST(EventQueueTest, CompactionStatsCountBulkCompactions)
+{
+    EventQueue q;
+    EXPECT_EQ(q.compactions(), 0u);
+    // Build a heap past kCompactMin, then cancel more than half of it:
+    // the dead-majority trigger must run at least one bulk compaction.
+    std::vector<infless::sim::EventId> ids;
+    int runs = 0;
+    for (int i = 0; i < 200; ++i)
+        ids.push_back(q.schedule(100 + i, [&] { ++runs; }));
+    for (int i = 0; i < 150; ++i)
+        EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_GE(q.compactions(), 1u);
+    EXPECT_EQ(q.cancellations(), 150u);
+    // Compaction evicted the dead entries without touching live ones.
+    EXPECT_EQ(q.pending(), 50u);
+    q.runAll();
+    EXPECT_EQ(runs, 50);
+}
+
 } // namespace
