@@ -1,8 +1,10 @@
 /**
  * @file
  * Overload-burst bench: goodput under a periodic burst train whose peaks
- * reach half to four times the calibrated capacity, with the overload
- * control plane off, admission-only, and fully engaged.
+ * reach half to four times the calibrated capacity, comparing admission
+ * modes — no gate, static (feedforward, profile-driven) admission, the
+ * full PR-5 stack, and the adaptive (feedback, gradient) concurrency
+ * limiter — with the profiler both accurate and lying.
  *
  * Not a paper figure: the paper's stress test (Fig. 11) stops at the
  * throughput knee, but production gateways get pushed past it — and in
@@ -10,18 +12,28 @@
  * load with short bursts at multiplier x capacity. Undefended, the
  * autoscaler scales in during every trough and each burst onset lands on
  * a cold fleet: a storm of cold-start SLO violations and over-submission
- * drops, repeated every cycle. The full stack sheds the unservable head
- * of each burst at ingress, and brownout pins the fleet (scale-in is
- * deferred while pressure persists), so later bursts land warm. Each row
+ * drops, repeated every cycle. Static admission sheds the unservable
+ * head of each burst at ingress — but it trusts the profiled latency
+ * surface. The mispredicted rows re-run the knee point with a
+ * pessimistic profiler (every prediction scaled 1.5x high): all
+ * feedforward consumers now see phantom congestion — admission sheds at
+ * two-thirds of its calibrated queue depth and batch deadlines shrink —
+ * while the gradient limiter never reads a prediction and keeps gating
+ * on observed RTT alone. The acceptance gate requires adaptive
+ * SLO-goodput >= static's under that injected profile error: feedback
+ * control must hold the line a lying model cannot move. Each row
  * self-checks request conservation.
  *
  * Emits BENCH_overload.json plus a per-second shed/drop/breaker-state
  * timeline (overload_timeline.csv) of one full-stack run at the highest
- * multiplier. `--smoke` shrinks the sweep for CI. `--trace` additionally
- * records that run's request lifecycle and breaker/brownout transition
- * markers into a Perfetto-loadable overload_trace.json.
+ * multiplier and a limiter-state timeline
+ * (overload_adaptive_timeline.csv) of an adaptive run under the lying
+ * profiler. `--smoke` shrinks the sweep for CI. `--trace` additionally
+ * records those runs' request lifecycles into Perfetto-loadable
+ * overload_trace.json / overload_adaptive_trace.json.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,7 +58,8 @@ enum class Defense
 {
     None,
     Admission,
-    Full
+    Full,
+    Adaptive
 };
 
 const char *
@@ -59,6 +72,25 @@ defenseName(Defense d)
         return "admission";
       case Defense::Full:
         return "full";
+      case Defense::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+/** Admission-mode label of a defense (the feedforward-vs-feedback axis;
+ *  the full stack gates with static admission). */
+const char *
+modeName(Defense d)
+{
+    switch (d) {
+      case Defense::None:
+        return "none";
+      case Defense::Admission:
+      case Defense::Full:
+        return "static";
+      case Defense::Adaptive:
+        return "adaptive";
     }
     return "?";
 }
@@ -76,6 +108,14 @@ defenseConfig(Defense d)
       }
       case Defense::Full:
         return overload::OverloadConfig::fullStack();
+      case Defense::Adaptive: {
+        // The pure feedback gate: no profile-driven admission, no
+        // breaker — whatever the limiter cannot prove servable from
+        // observed RTT is shed at ingress.
+        overload::OverloadConfig cfg;
+        cfg.mode = overload::AdmissionMode::Adaptive;
+        return cfg;
+      }
     }
     return {};
 }
@@ -95,9 +135,23 @@ struct SweepConfig
     /** Calibration sweep bounds (the undefended capacity knee). */
     double calibMaxOffered = 16'000.0;
     sim::Tick calibDuration = 30 * sim::kTicksPerSec;
+    /**
+     * Profiler error of the mispredicted rows: every prediction is
+     * scaled by this factor while execution truth is untouched. 1.5
+     * makes the profiler pessimistic by 1.5x: every feedforward
+     * consumer sees phantom congestion — static admission's shed
+     * threshold drops to 1/1.5 of its calibrated queue depth, batch
+     * deadlines shrink, and the scheduler provisions against inflated
+     * service times — while the feedback limiter, which never reads a
+     * prediction, keeps gating on observed RTT alone.
+     */
+    double profileErrorFactor = 1.5;
+    /** Multiplier at which the mispredicted 3-way comparison runs (the
+     *  gate point: twice the capacity knee). */
+    double errorMultiplier = 2.0;
     std::vector<double> multipliers = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
     std::vector<Defense> defenses = {Defense::None, Defense::Admission,
-                                     Defense::Full};
+                                     Defense::Full, Defense::Adaptive};
 };
 
 /** Periodic burst train in 1s bins (the default bin is a whole minute,
@@ -124,25 +178,33 @@ struct SweepPoint
 {
     Defense defense = Defense::None;
     double multiplier = 0.0;
+    /** Profiler distortion this row ran under (1 = accurate). */
+    double profileError = 1.0;
     ScenarioResult result;
     /** Completions inside the nominal SLO, per second. */
     double goodputRps = 0.0;
     /** Completions inside the degraded (2x) SLO, per second. */
     double degradedGoodputRps = 0.0;
     double p99Ms = 0.0;
+    /** Limiter state at run end (adaptive rows; zero otherwise). */
+    double limitFinal = 0.0;
+    double limitMinRttMs = 0.0;
+    double limitGradient = 0.0;
     bool consistent = false;
 };
 
 SweepPoint
 runPoint(const SweepConfig &cfg, Defense defense, double multiplier,
-         double capacity_rps)
+         double capacity_rps, double profile_error)
 {
     SweepPoint point;
     point.defense = defense;
     point.multiplier = multiplier;
+    point.profileError = profile_error;
 
     core::PlatformOptions opts;
     opts.overload = defenseConfig(defense);
+    opts.faults.profileError.factor = profile_error;
     auto platform = makeSystem(SystemKind::Infless, cfg.servers,
                                std::move(opts));
 
@@ -164,6 +226,13 @@ runPoint(const SweepConfig &cfg, Defense defense, double multiplier,
         static_cast<double>(m.completions()) *
         (1.0 - m.latency().fractionAbove(degraded_slo)) / run_sec;
     point.p99Ms = sim::ticksToSec(m.latency().percentile(99.0)) * 1e3;
+    if (defense == Defense::Adaptive) {
+        core::OverloadSnapshot snap = platform->overloadSnapshot(0);
+        point.limitFinal = snap.limit;
+        point.limitMinRttMs =
+            sim::ticksToSec(snap.limiterMinRtt) * 1e3;
+        point.limitGradient = snap.limiterGradient;
+    }
     point.consistent = point.result.completions + point.result.drops ==
                        point.result.arrivals;
     return point;
@@ -265,11 +334,150 @@ runDemo(const SweepConfig &cfg, double capacity_rps, bool with_trace)
     return point;
 }
 
+/**
+ * Adaptive demo: the gradient limiter on the same undersized fixture,
+ * under the lying profiler, so the limiter visibly engages — the limit
+ * grows out of warmup against the backlog drain, then backs off through
+ * each burst's SLO violations (growth frozen per cooldown) until it
+ * binds and sheds, and re-grows in the troughs. Emits the limiter state
+ * series (limit, in-flight, minRTT, gradient, sheds, backoffs) per
+ * second.
+ */
+SweepPoint
+runAdaptiveDemo(const SweepConfig &cfg, double capacity_rps,
+                bool with_trace)
+{
+    // The limiter needs several burst/trough cycles to warm up, back
+    // off to the binding point, and shed: floor the demo at six bursts
+    // even under --smoke (a serial 2-server run, so the CI cost is
+    // small), or the trace would have no limiter_shed instants.
+    SweepConfig demo_cfg = cfg;
+    demo_cfg.duration =
+        std::max(demo_cfg.duration, 60 * sim::kTicksPerSec);
+    double multiplier = cfg.multipliers.back();
+    core::PlatformOptions opts;
+    opts.overload.mode = overload::AdmissionMode::Adaptive;
+    // The demo fixture is chronically starved, the configuration the
+    // growth freeze exists for: without it the healthy majority regrows
+    // every backoff cut and the limit never descends below the queue's
+    // in-flight ceiling, so the limiter would never visibly shed.
+    opts.overload.adaptive.growthFreeze = true;
+    opts.faults.profileError.factor = cfg.profileErrorFactor;
+    if (with_trace) {
+        opts.obs.trace.sampleRate = 1.0;
+        opts.obs.trace.capacity = std::size_t{1} << 17;
+    }
+    auto platform = makeSystem(SystemKind::Infless, kDemoServers,
+                               std::move(opts));
+
+    std::vector<WorkloadSpec> workloads(1);
+    workloads[0].model = cfg.model;
+    workloads[0].slo = cfg.slo;
+    workloads[0].series = burstTrain(demo_cfg, multiplier, capacity_rps);
+
+    metrics::TimelineSampler sampler(platform->simulation(),
+                                     sim::kTicksPerSec);
+    const auto &m = platform->totalMetrics();
+    sampler.track("limit", [&p = *platform] {
+        return p.overloadSnapshot(0).limit;
+    });
+    sampler.track("limiter_inflight", [&p = *platform] {
+        return static_cast<double>(
+            p.overloadSnapshot(0).limiterInFlight);
+    });
+    sampler.track("limiter_min_rtt_ms", [&p = *platform] {
+        return sim::ticksToSec(p.overloadSnapshot(0).limiterMinRtt) * 1e3;
+    });
+    sampler.track("limiter_gradient", [&p = *platform] {
+        return p.overloadSnapshot(0).limiterGradient;
+    });
+    sampler.trackCounter("limiter_sheds", [&m] {
+        return static_cast<double>(m.limiterSheds());
+    });
+    sampler.trackCounter("limiter_backoffs", [&m] {
+        return static_cast<double>(m.limiterBackoffs());
+    });
+
+    SweepPoint point;
+    point.defense = Defense::Adaptive;
+    point.multiplier = multiplier;
+    point.profileError = cfg.profileErrorFactor;
+    point.result = runScenario(*platform, workloads, cfg.grace);
+    point.consistent = point.result.completions + point.result.drops ==
+                       point.result.arrivals;
+    core::OverloadSnapshot snap = platform->overloadSnapshot(0);
+    point.limitFinal = snap.limit;
+    point.limitMinRttMs = sim::ticksToSec(snap.limiterMinRtt) * 1e3;
+    point.limitGradient = snap.limiterGradient;
+
+    sampler.stop();
+    {
+        std::ofstream csv("overload_adaptive_timeline.csv");
+        sampler.writeCsv(csv);
+    }
+    if (with_trace) {
+        std::ofstream ofs("overload_adaptive_trace.json");
+        platform->tracer().writeChromeTrace(ofs);
+    }
+    if (telemetryEnabled()) {
+        // Last telemetry writer of the bench: metrics.prom and
+        // telemetry.json carry the limiter counters and state series.
+        obs::TelemetryRegistry telemetry =
+            buildTelemetry(*platform, "overload_burst_adaptive");
+        telemetry.addTimeline(sampler);
+        writeTelemetryFiles(telemetry);
+    }
+    return point;
+}
+
+void
+writeRow(std::ofstream &out, const SweepPoint &p, const char *defense)
+{
+    const ScenarioResult &r = p.result;
+    out << "    {\"defense\": \"" << defense << "\""
+        << ", \"mode\": \"" << modeName(p.defense) << "\""
+        << ", \"multiplier\": " << p.multiplier
+        << ", \"profile_error\": " << p.profileError
+        << ", \"offered_rps\": " << r.offeredRps
+        << ", \"completed_rps\": " << r.completedRps
+        << ", \"goodput_rps\": " << p.goodputRps
+        << ", \"degraded_goodput_rps\": " << p.degradedGoodputRps
+        << ", \"p99_ms\": " << p.p99Ms
+        << ", \"slo_violation_rate\": " << r.sloViolationRate
+        << ", \"arrivals\": " << r.arrivals
+        << ", \"completions\": " << r.completions
+        << ", \"drops\": " << r.drops
+        << ", \"sheds\": " << r.sheds
+        << ", \"breaker_sheds\": " << r.breakerSheds
+        << ", \"limiter_sheds\": " << r.limiterSheds
+        << ", \"limiter_backoffs\": " << r.limiterBackoffs
+        << ", \"limit_final\": " << p.limitFinal
+        << ", \"limit_min_rtt_ms\": " << p.limitMinRttMs
+        << ", \"limit_gradient\": " << p.limitGradient
+        << ", \"queue_evictions\": " << r.queueEvictions
+        << ", \"retry_budget_exhausted\": " << r.retryBudgetExhausted
+        << ", \"breaker_opens\": " << r.breakerOpens
+        << ", \"brownout_entries\": " << r.brownoutEntries
+        << ", \"truncated\": " << (r.truncated ? "true" : "false")
+        << ", \"consistent\": " << (p.consistent ? "true" : "false")
+        << "}";
+}
+
+struct GateSummary
+{
+    double none2x = 0.0;
+    double full2x = 0.0;
+    double staticErr = 0.0;
+    double adaptiveErr = 0.0;
+    bool graceful() const { return full2x >= none2x; }
+    bool feedbackRobust() const { return adaptiveErr >= staticErr; }
+};
+
 void
 writeBenchJson(const SweepConfig &cfg, double capacity_rps,
                const std::vector<SweepPoint> &points,
-               const SweepPoint &demo, double none_2x, double full_2x,
-               const std::string &path)
+               const SweepPoint &demo, const SweepPoint &adaptive_demo,
+               const GateSummary &gate, const std::string &path)
 {
     std::ofstream out(path);
     out << "{\n"
@@ -283,50 +491,27 @@ writeBenchJson(const SweepConfig &cfg, double capacity_rps,
         << "  \"period_sec\": " << sim::ticksToSec(cfg.period) << ",\n"
         << "  \"base_fraction\": " << cfg.baseFraction << ",\n"
         << "  \"capacity_rps\": " << capacity_rps << ",\n"
+        << "  \"profile_error_factor\": " << cfg.profileErrorFactor
+        << ",\n"
         << "  \"rows\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const SweepPoint &p = points[i];
-        const ScenarioResult &r = p.result;
-        out << "    {\"defense\": \"" << defenseName(p.defense) << "\""
-            << ", \"multiplier\": " << p.multiplier
-            << ", \"offered_rps\": " << r.offeredRps
-            << ", \"completed_rps\": " << r.completedRps
-            << ", \"goodput_rps\": " << p.goodputRps
-            << ", \"degraded_goodput_rps\": " << p.degradedGoodputRps
-            << ", \"p99_ms\": " << p.p99Ms
-            << ", \"slo_violation_rate\": " << r.sloViolationRate
-            << ", \"arrivals\": " << r.arrivals
-            << ", \"completions\": " << r.completions
-            << ", \"drops\": " << r.drops
-            << ", \"sheds\": " << r.sheds
-            << ", \"breaker_sheds\": " << r.breakerSheds
-            << ", \"queue_evictions\": " << r.queueEvictions
-            << ", \"retry_budget_exhausted\": " << r.retryBudgetExhausted
-            << ", \"breaker_opens\": " << r.breakerOpens
-            << ", \"brownout_entries\": " << r.brownoutEntries
-            << ", \"truncated\": " << (r.truncated ? "true" : "false")
-            << ", \"consistent\": " << (p.consistent ? "true" : "false")
-            << "},\n";
+    for (const SweepPoint &p : points) {
+        writeRow(out, p, defenseName(p.defense));
+        out << ",\n";
     }
-    const ScenarioResult &d = demo.result;
-    out << "    {\"defense\": \"demo\""
-        << ", \"multiplier\": " << demo.multiplier
-        << ", \"offered_rps\": " << d.offeredRps
-        << ", \"completed_rps\": " << d.completedRps
-        << ", \"sheds\": " << d.sheds
-        << ", \"breaker_sheds\": " << d.breakerSheds
-        << ", \"queue_evictions\": " << d.queueEvictions
-        << ", \"breaker_opens\": " << d.breakerOpens
-        << ", \"breaker_closes\": " << d.breakerCloses
-        << ", \"brownout_entries\": " << d.brownoutEntries
-        << ", \"truncated\": " << (d.truncated ? "true" : "false")
-        << ", \"consistent\": " << (demo.consistent ? "true" : "false")
-        << "}\n";
-    out << "  ],\n"
-        << "  \"goodput_2x_none\": " << none_2x << ",\n"
-        << "  \"goodput_2x_full\": " << full_2x << ",\n"
-        << "  \"graceful\": " << (full_2x >= none_2x ? "true" : "false")
-        << "\n"
+    writeRow(out, demo, "demo");
+    out << ",\n";
+    writeRow(out, adaptive_demo, "demo_adaptive");
+    out << "\n  ],\n"
+        << "  \"goodput_2x_none\": " << gate.none2x << ",\n"
+        << "  \"goodput_2x_full\": " << gate.full2x << ",\n"
+        << "  \"goodput_2x_static_mispredicted\": " << gate.staticErr
+        << ",\n"
+        << "  \"goodput_2x_adaptive_mispredicted\": " << gate.adaptiveErr
+        << ",\n"
+        << "  \"graceful\": " << (gate.graceful() ? "true" : "false")
+        << ",\n"
+        << "  \"feedback_robust\": "
+        << (gate.feedbackRobust() ? "true" : "false") << "\n"
         << "}\n";
 }
 
@@ -373,63 +558,100 @@ main(int argc, char **argv)
     {
         Defense defense = Defense::None;
         double multiplier = 0.0;
+        double profileError = 1.0;
     };
     std::vector<Cell> cells;
     for (double mult : cfg.multipliers)
         for (Defense defense : cfg.defenses)
-            cells.push_back({defense, mult});
+            cells.push_back({defense, mult, 1.0});
+    // The mispredicted 3-way: none/static/adaptive at the gate point
+    // under the lying profiler. The full stack is omitted — its breaker
+    // confounds the feedforward-vs-feedback comparison.
+    for (Defense defense :
+         {Defense::None, Defense::Admission, Defense::Adaptive}) {
+        cells.push_back(
+            {defense, cfg.errorMultiplier, cfg.profileErrorFactor});
+    }
 
     std::vector<SweepPoint> points =
         ParallelSweep::map(cells, [&cfg, capacity](const Cell &cell) {
-            return runPoint(cfg, cell.defense, cell.multiplier, capacity);
+            return runPoint(cfg, cell.defense, cell.multiplier, capacity,
+                            cell.profileError);
         });
 
-    // Timeline/trace demo: serial, after the sweep, so its telemetry
-    // write is the file's last.
+    // Timeline/trace demos: serial, after the sweep; the adaptive demo
+    // runs last so its limiter series is the telemetry file's writer.
     SweepPoint demo = runDemo(cfg, capacity, trace);
+    SweepPoint adaptive_demo = runAdaptiveDemo(cfg, capacity, trace);
 
-    TextTable table({"defense", "load", "offered", "goodput",
+    TextTable table({"defense", "load", "profiler", "offered", "goodput",
                      "degraded-goodput", "p99 ms", "viol rate", "sheds",
-                     "evictions", "consistent"});
+                     "consistent"});
     bool all_consistent = true;
     for (const SweepPoint &p : points) {
         all_consistent = all_consistent && p.consistent;
         table.addRow(
             {defenseName(p.defense), fmt(p.multiplier, 1) + "x",
+             p.profileError == 1.0 ? "accurate" : "lying",
              fmt(p.result.offeredRps, 0), fmt(p.goodputRps, 0),
              fmt(p.degradedGoodputRps, 0), fmt(p.p99Ms, 1),
              fmtPercent(p.result.sloViolationRate),
-             std::to_string(p.result.sheds + p.result.breakerSheds),
-             std::to_string(p.result.queueEvictions),
+             std::to_string(p.result.sheds + p.result.breakerSheds +
+                            p.result.limiterSheds),
              p.consistent ? "yes" : "NO"});
     }
-    all_consistent = all_consistent && demo.consistent;
+    all_consistent =
+        all_consistent && demo.consistent && adaptive_demo.consistent;
     table.print(std::cout);
 
-    // Acceptance signal: at 2x offered load the full stack must hold at
-    // least the undefended goodput (graceful degradation, not collapse).
-    auto goodput_at = [&points](Defense defense, double mult) {
+    auto goodput_at = [&points](Defense defense, double mult,
+                                double error) {
         for (const SweepPoint &p : points)
-            if (p.defense == defense && p.multiplier == mult)
+            if (p.defense == defense && p.multiplier == mult &&
+                p.profileError == error)
                 return p.goodputRps;
         return 0.0;
     };
-    double none_2x = goodput_at(Defense::None, 2.0);
-    double full_2x = goodput_at(Defense::Full, 2.0);
-    std::cout << "  goodput at 2x load: undefended " << fmt(none_2x, 0)
-              << " RPS vs full stack " << fmt(full_2x, 0) << " RPS ("
-              << (full_2x >= none_2x ? "graceful" : "NOT graceful")
+    GateSummary gate;
+    // Acceptance signal 1: at 2x offered load the full stack must hold
+    // at least the undefended goodput (graceful degradation).
+    gate.none2x = goodput_at(Defense::None, 2.0, 1.0);
+    gate.full2x = goodput_at(Defense::Full, 2.0, 1.0);
+    // Acceptance signal 2: under the lying profiler the feedback gate
+    // must hold at least the feedforward gate's SLO-goodput.
+    gate.staticErr = goodput_at(Defense::Admission, cfg.errorMultiplier,
+                                cfg.profileErrorFactor);
+    gate.adaptiveErr = goodput_at(Defense::Adaptive, cfg.errorMultiplier,
+                                  cfg.profileErrorFactor);
+    std::cout << "  goodput at 2x load: undefended " << fmt(gate.none2x, 0)
+              << " RPS vs full stack " << fmt(gate.full2x, 0) << " RPS ("
+              << (gate.graceful() ? "graceful" : "NOT graceful") << ")\n";
+    std::cout << "  goodput at " << fmt(cfg.errorMultiplier, 1)
+              << "x load, lying profiler (x" << fmt(cfg.profileErrorFactor, 3)
+              << "): static " << fmt(gate.staticErr, 0)
+              << " RPS vs adaptive " << fmt(gate.adaptiveErr, 0)
+              << " RPS ("
+              << (gate.feedbackRobust() ? "feedback robust"
+                                        : "NOT feedback robust")
               << ")\n";
 
-    writeBenchJson(cfg, capacity, points, demo, none_2x, full_2x,
+    writeBenchJson(cfg, capacity, points, demo, adaptive_demo, gate,
                    "BENCH_overload.json");
     std::cout << "  (rows written to BENCH_overload.json; shed/breaker "
                  "timeline of the full-stack demo run in "
-                 "overload_timeline.csv)\n";
+                 "overload_timeline.csv; limiter state series of the "
+                 "adaptive demo in overload_adaptive_timeline.csv)\n";
 
     if (!all_consistent) {
         std::cerr << "ERROR: request conservation violated "
                      "(completions + drops != arrivals)\n";
+        return 1;
+    }
+    if (!gate.feedbackRobust()) {
+        std::cerr << "ERROR: adaptive limiter lost to static admission "
+                     "under profile error ("
+                  << gate.adaptiveErr << " < " << gate.staticErr
+                  << " RPS)\n";
         return 1;
     }
     return 0;

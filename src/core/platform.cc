@@ -29,6 +29,17 @@ Platform::Platform(cluster::Cluster machines, PlatformOptions opts)
     scheduler_.setProfiler(&prof_);
     scalerHandle_ = sim_.every(opts_.scalerPeriod, [this] { scalerTick(); });
 
+    if (opts_.faults.profileError.enabled()) {
+        // Mispredicted-profile fault: distort the latency surface the
+        // controllers see. Execution pricing (execCache_ over exec_)
+        // never goes through the predictor, so ground truth is intact.
+        const faults::ProfileErrorConfig pe = opts_.faults.profileError;
+        const std::uint64_t seed = opts_.seed;
+        predictor_.setDistortion([pe, seed](std::uint64_t model_key) {
+            return faults::profileErrorMultiplier(pe, seed, model_key);
+        });
+    }
+
     serverDownSince_.assign(cluster_.size(), sim::kTickNever);
     if (opts_.faults.enabled()) {
         faults_ = std::make_unique<faults::FaultInjector>(
@@ -537,8 +548,10 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
     total_.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
 
     const overload::OverloadConfig &oc = opts_.overload;
+    bool adaptive =
+        oc.admissionMode() == overload::AdmissionMode::Adaptive;
     if (oc.breaker.enabled || oc.brownout.enabled ||
-        oc.retryBudget.enabled) {
+        oc.retryBudget.enabled || adaptive) {
         // Health feedback is judged against the *effective* SLO and only
         // on the serving path (queue + exec): while brownout holds the
         // degraded envelope, completions inside it must count as
@@ -559,6 +572,17 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
         }
         if (oc.retryBudget.enabled)
             f.retryBudget.onSuccess();
+        if (adaptive && record.limiterHeld) {
+            // The limiter samples the same serving latency the breaker
+            // judges: cold-start waits are provisioning, not queueing
+            // pressure the limit should choke on.
+            releaseLimiter(f, record);
+            if (f.limiter.limit.onSample(sim_.now(), serving, violated,
+                                         f.limiter.strategy.inFlight())) {
+                f.metrics.recordLimiterBackoff();
+                total_.recordLimiterBackoff();
+            }
+        }
     }
 
     if (tracer_.wants(request)) {
@@ -887,8 +911,20 @@ Platform::dropRequestInternal(FunctionState &f, RequestIndex request,
 {
     f.metrics.recordDrop(now);
     total_.recordDrop(now);
-    const RequestRecord &record =
-        requests_[static_cast<std::size_t>(request)];
+    RequestRecord &record = requests_[static_cast<std::size_t>(request)];
+    if (record.limiterHeld) {
+        // A drop of an admitted request is the limiter's congestion
+        // signal: free the slot and decrease multiplicatively (subject
+        // to the backoff cooldown, so one lost batch is one signal).
+        // Drops while cold capacity is warming bypass the decrease just
+        // as they bypass the breaker: provisioning, not congestion.
+        releaseLimiter(f, record);
+        if (feed_health && !coldCapacityPending(f) &&
+            f.limiter.limit.onDrop(now)) {
+            f.metrics.recordLimiterBackoff();
+            total_.recordLimiterBackoff();
+        }
+    }
     if (feed_health) {
         // A drop of an admitted request is a failure signal; sheds come
         // through with feed_health off so an open breaker's own rejects
@@ -1000,7 +1036,8 @@ bool
 Platform::admitRequest(FunctionId fn, RequestIndex request)
 {
     const overload::OverloadConfig &oc = opts_.overload;
-    if (!oc.breaker.enabled && !oc.admission.enabled)
+    overload::AdmissionMode mode = oc.admissionMode();
+    if (!oc.breaker.enabled && mode == overload::AdmissionMode::None)
         return true;
     sim::Tick now = sim_.now();
     FunctionState &f = functionState(fn);
@@ -1009,12 +1046,45 @@ Platform::admitRequest(FunctionId fn, RequestIndex request)
         bool allowed = f.breaker.allow(now, request);
         noteBreakerTransitions(fn, now);
         if (!allowed) {
-            shedRequest(f, request, now, true);
+            shedRequest(f, request, now, ShedCause::Breaker);
             return false;
         }
     }
 
-    if (oc.admission.enabled) {
+    if (mode == overload::AdmissionMode::Adaptive) {
+        // Feedback gate: one in-flight slot per admitted request,
+        // against a limit learned purely from observed latencies.
+        // Retries and re-routes of an already-admitted request keep
+        // their slot (limiterHeld), so the gate is idempotent per
+        // request and conservation of the counter is exact.
+        RequestRecord &record =
+            requests_[static_cast<std::size_t>(request)];
+        if (!record.limiterHeld) {
+            if (!f.limiter.strategy.tryAcquire(f.limiter.limit.limit())) {
+                if (!f.limiter.limit.warmedUp()) {
+                    // The estimator has not consumed its warmup quota of
+                    // samples yet, so the limit is a prior, not feedback
+                    // — rejecting on it would shed the very load the
+                    // first fleet is being built for (the same doctrine
+                    // as the breaker's drop bypass: cold starts are
+                    // provisioning, not congestion). Admit without a
+                    // slot — slot-holders keep feeding the estimator,
+                    // and once it has evidence the gate enforces.
+                    return true;
+                }
+                shedRequest(f, request, now, ShedCause::Limiter);
+                // Like a capacity-driven static shed, a limiter reject
+                // is a scale-out signal: demand exceeds what the
+                // current fleet serves within SLO.
+                maybeReactiveScaleOut(fn);
+                return false;
+            }
+            record.limiterHeld = true;
+        }
+        return true;
+    }
+
+    if (mode == overload::AdmissionMode::Static) {
         // Predicted sojourn of the best-placed instance with room:
         // cold-start remainder + batches queued ahead + its own batch.
         sim::Tick best = sim::kTickNever;
@@ -1044,7 +1114,7 @@ Platform::admitRequest(FunctionId fn, RequestIndex request)
             double slack = static_cast<double>(effectiveSlo(f)) *
                            oc.admission.slackFactor;
             if (static_cast<double>(best) > slack) {
-                shedRequest(f, request, now, false);
+                shedRequest(f, request, now, ShedCause::Admission);
                 // A capacity-driven shed is also a scale-out signal:
                 // without this, shedding starves the reactive path in
                 // routeRequest and the fleet only grows on scaler
@@ -1060,17 +1130,32 @@ Platform::admitRequest(FunctionId fn, RequestIndex request)
 }
 
 void
+Platform::releaseLimiter(FunctionState &f, RequestRecord &record)
+{
+    sim::simAssert(record.limiterHeld, "limiter slot double-release");
+    record.limiterHeld = false;
+    f.limiter.strategy.release();
+}
+
+void
 Platform::shedRequest(FunctionState &f, RequestIndex request, sim::Tick now,
-                      bool breaker_shed)
+                      ShedCause cause)
 {
     const RequestRecord &record =
         requests_[static_cast<std::size_t>(request)];
-    if (breaker_shed) {
+    switch (cause) {
+      case ShedCause::Breaker:
         f.metrics.recordBreakerShed(now);
         total_.recordBreakerShed(now);
-    } else {
+        break;
+      case ShedCause::Limiter:
+        f.metrics.recordLimiterShed(now);
+        total_.recordLimiterShed(now);
+        break;
+      case ShedCause::Admission:
         f.metrics.recordShed(now);
         total_.recordShed(now);
+        break;
     }
     if (opts_.overload.brownout.enabled) {
         // Shedding is itself overload pressure: it keeps brownout engaged
@@ -1079,8 +1164,10 @@ Platform::shedRequest(FunctionState &f, RequestIndex request, sim::Tick now,
         noteBrownoutTransition(record.function, now);
     }
     if (tracer_.wants(request)) {
-        tracer_.record(obs::SpanKind::Shed, request, record.function, -1,
-                       -1, now, 0);
+        tracer_.record(cause == ShedCause::Limiter
+                           ? obs::SpanKind::LimiterShed
+                           : obs::SpanKind::Shed,
+                       request, record.function, -1, -1, now, 0);
     }
     dropRequestInternal(f, request, now, false);
 }
@@ -1201,6 +1288,12 @@ Platform::overloadSnapshot(FunctionId fn) const
     snap.breakerSheds = f.metrics.breakerSheds();
     snap.queueEvictions = f.metrics.queueEvictions();
     snap.retryBudgetExhausted = f.metrics.retryBudgetExhausted();
+    snap.limit = f.limiter.limit.limit();
+    snap.limiterInFlight = f.limiter.strategy.inFlight();
+    snap.limiterMinRtt = f.limiter.limit.minRtt();
+    snap.limiterGradient = f.limiter.limit.gradient();
+    snap.limiterSheds = f.metrics.limiterSheds();
+    snap.limiterBackoffs = f.metrics.limiterBackoffs();
     return snap;
 }
 

@@ -145,6 +145,16 @@ struct OverloadSnapshot
     std::int64_t breakerSheds = 0;
     std::int64_t queueEvictions = 0;
     std::int64_t retryBudgetExhausted = 0;
+    // Adaptive limiter state series (AdmissionMode::Adaptive) ----------
+    /** Current concurrency limit estimate. */
+    double limit = 0.0;
+    /** Requests currently holding limiter slots. */
+    std::int64_t limiterInFlight = 0;
+    /** minRTT baseline (ticks) and last clamped gradient. */
+    sim::Tick limiterMinRtt = 0;
+    double limiterGradient = 1.0;
+    std::int64_t limiterSheds = 0;
+    std::int64_t limiterBackoffs = 0;
 };
 
 /**
@@ -394,6 +404,9 @@ class Platform
         overload::CircuitBreaker breaker;
         overload::RetryBudget retryBudget;
         overload::BrownoutController brownout;
+        /** Adaptive concurrency limiter (AdmissionMode::Adaptive);
+         *  inert — never acquired from — in the other modes. */
+        overload::AdaptiveLimiter limiter;
         /** Breaker transition-log entries already surfaced to
          *  metrics/traces (a count, so multi-step transitions within one
          *  event are all seen). */
@@ -409,7 +422,8 @@ class Platform
         FunctionState(sim::Tick rate_window,
                       const overload::OverloadConfig &oc)
             : rate(rate_window), breaker(oc.breaker),
-              retryBudget(oc.retryBudget), brownout(oc.brownout)
+              retryBudget(oc.retryBudget), brownout(oc.brownout),
+              limiter(oc.adaptive)
         {
         }
     };
@@ -518,11 +532,21 @@ class Platform
     /** Backoff-limited reactive scale-out; true when an attempt ran
      *  (shared by the routing dead-end and capacity-driven sheds). */
     bool maybeReactiveScaleOut(FunctionId fn);
-    /** Breaker + admission gate at ingress; false = request was shed. */
+    /** Which ingress defense rejected a request (metrics/trace tag). */
+    enum class ShedCause : std::uint8_t
+    {
+        Admission, ///< static feedforward predicate
+        Breaker,   ///< open/half-open circuit breaker
+        Limiter    ///< adaptive concurrency limit
+    };
+
+    /** Breaker + admission/limiter gate at ingress; false = shed. */
     bool admitRequest(FunctionId fn, RequestIndex request);
-    /** Account one shed (admission or breaker) and drop the request. */
+    /** Account one shed and drop the request. */
     void shedRequest(FunctionState &f, RequestIndex request, sim::Tick now,
-                     bool breaker_shed);
+                     ShedCause cause);
+    /** Release the limiter slot a request holds (terminal paths). */
+    void releaseLimiter(FunctionState &f, RequestRecord &record);
     /** Evict the oldest queued request fleet-wide to seat @p request;
      *  false when eviction is off or no queue has anything to evict. */
     bool tryEvictInto(FunctionId fn, RequestIndex request);

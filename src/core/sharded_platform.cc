@@ -169,7 +169,7 @@ ShardedPlatform::refreshRouter()
         // scale-out — spillover lands where capacity remains.
         const metrics::RunMetrics &m = p.totalMetrics();
         std::int64_t drop_stat =
-            m.drops() + m.sheds() + m.breakerSheds();
+            m.drops() + m.sheds() + m.breakerSheds() + m.limiterSheds();
         d.dropPressure = drop_stat - lastDropStat_[c];
         lastDropStat_[c] = drop_stat;
     }
@@ -283,6 +283,51 @@ ShardedPlatform::functionMetrics(FunctionId fn) const
     if (mergedDirty_)
         rebuildMerged();
     return mergedFn_[static_cast<std::size_t>(fn)];
+}
+
+OverloadSnapshot
+ShardedPlatform::overloadSnapshot(FunctionId fn) const
+{
+    if (delegated())
+        return cells_[0]->overloadSnapshot(fn);
+    auto severity = [](overload::BreakerState s) {
+        switch (s) {
+          case overload::BreakerState::Open:
+            return 2;
+          case overload::BreakerState::HalfOpen:
+            return 1;
+          case overload::BreakerState::Closed:
+            break;
+        }
+        return 0;
+    };
+    OverloadSnapshot snap;
+    snap.limiterMinRtt = sim::kTickNever;
+    double gradient_sum = 0.0;
+    for (const auto &cell : cells_) {
+        OverloadSnapshot s = cell->overloadSnapshot(fn);
+        if (severity(s.breakerState) > severity(snap.breakerState))
+            snap.breakerState = s.breakerState;
+        snap.brownoutActive = snap.brownoutActive || s.brownoutActive;
+        snap.retryTokens += s.retryTokens;
+        snap.sheds += s.sheds;
+        snap.breakerSheds += s.breakerSheds;
+        snap.queueEvictions += s.queueEvictions;
+        snap.retryBudgetExhausted += s.retryBudgetExhausted;
+        snap.limit += s.limit;
+        snap.limiterInFlight += s.limiterInFlight;
+        if (s.limiterMinRtt > 0)
+            snap.limiterMinRtt = std::min(snap.limiterMinRtt,
+                                          s.limiterMinRtt);
+        gradient_sum += s.limiterGradient;
+        snap.limiterSheds += s.limiterSheds;
+        snap.limiterBackoffs += s.limiterBackoffs;
+    }
+    if (snap.limiterMinRtt == sim::kTickNever)
+        snap.limiterMinRtt = 0; // no cell has sampled yet
+    snap.limiterGradient =
+        gradient_sum / static_cast<double>(cells_.size());
+    return snap;
 }
 
 std::uint64_t

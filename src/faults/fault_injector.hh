@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cluster/server.hh"
+#include "faults/profile_error.hh"
 #include "sim/rng.hh"
 #include "sim/simulation.hh"
 #include "sim/time.hh"
@@ -60,6 +61,15 @@ struct FaultProfile
      * its retry chain inside the drain grace period.
      */
     sim::Tick crashHorizon = sim::kTickNever;
+    /**
+     * Mispredicted-profile fault: seeded multiplicative error on the
+     * latency surface the controllers see (scheduler, dispatcher,
+     * static admission), never the one execution prices batches with.
+     * Unlike the event faults above it schedules nothing and draws no
+     * randomness, so it is deliberately excluded from enabled() — the
+     * platform wires it into the predictor directly.
+     */
+    ProfileErrorConfig profileError;
 
     bool crashesEnabled() const { return serverMtbfSec > 0.0; }
 

@@ -1,0 +1,40 @@
+#include "faults/profile_error.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace infless::faults {
+
+namespace {
+
+/** Stream key separating the profile-error hashes from every other
+ *  seed-derived stream (cells, router, workload, faults). */
+constexpr std::uint64_t kProfileErrorKey = 0x9F0F'11E5'0E44'0000ULL;
+
+} // namespace
+
+double
+profileErrorMultiplier(const ProfileErrorConfig &config,
+                       std::uint64_t seed, std::uint64_t model_key)
+{
+    sim::simAssert(config.factor > 0.0,
+                   "profile-error factor must be positive");
+    sim::simAssert(config.jitter >= 0.0,
+                   "profile-error jitter must be non-negative");
+    if (!config.enabled())
+        return 1.0;
+    double mult = config.factor;
+    if (config.jitter > 0.0) {
+        std::uint64_t h = sim::hashCombine(
+            sim::hashCombine(seed, kProfileErrorKey), model_key);
+        // 53-bit mantissa fill -> u uniform in [0, 1), mapped to [-1, 1].
+        double unit = static_cast<double>(h >> 11) *
+                      (1.0 / 9007199254740992.0);
+        mult *= std::exp((2.0 * unit - 1.0) * config.jitter);
+    }
+    return mult;
+}
+
+} // namespace infless::faults

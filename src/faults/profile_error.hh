@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Mispredicted-profile fault: a lying latency model.
+ *
+ * INFless's controllers steer by the operation-level latency profile
+ * (OpProfileDb composed through CopPredictor): the scheduler prices
+ * candidate configurations with it, the dispatcher derives target-rate
+ * windows from it, and static admission compares its predicted sojourn
+ * against the SLO slack. Production profiles drift — different
+ * hardware, contention, framework upgrades — and nothing in the
+ * feedforward plane notices.
+ *
+ * This fault injects exactly that failure: a seeded multiplicative
+ * error applied to the latency surface the *controllers* see, while
+ * execution keeps pricing batches from the untouched ground-truth
+ * surface (Platform::startBatch goes through ExecModel::trueTicks,
+ * never through the predictor). factor < 1 is the dangerous direction —
+ * an optimistic profiler makes the scheduler under-provision and static
+ * admission over-admit; factor > 1 makes admission shed servable load.
+ *
+ * Deterministic: the per-model multiplier is a pure hash of
+ * (seed, factor, jitter, model key). No RNG stream is consumed, so
+ * enabling the fault never shifts workload arrival randomness, and a
+ * factor of 1 with zero jitter is bit-identical to no fault at all
+ * (the platform skips installing the distortion entirely).
+ */
+
+#ifndef INFLESS_FAULTS_PROFILE_ERROR_HH
+#define INFLESS_FAULTS_PROFILE_ERROR_HH
+
+#include <cstdint>
+
+namespace infless::faults {
+
+/** Configuration of the profiler-error surface (part of FaultProfile). */
+struct ProfileErrorConfig
+{
+    /** Multiplier applied to every controller-visible prediction.
+     *  1.0 = faithful profiler (fault disabled when jitter is 0 too). */
+    double factor = 1.0;
+    /**
+     * Seeded per-model log-uniform spread around `factor`: each model's
+     * multiplier is factor * exp(u * jitter) with u in [-1, 1] drawn
+     * from a hash of (seed, model key). 0 = every model off by the same
+     * ratio.
+     */
+    double jitter = 0.0;
+
+    bool
+    enabled() const
+    {
+        return factor != 1.0 || jitter != 0.0;
+    }
+};
+
+/**
+ * The deterministic per-model multiplier. @p model_key is the model's
+ * stable identity (ModelInfo::noiseKey); @p seed is the run seed.
+ */
+double profileErrorMultiplier(const ProfileErrorConfig &config,
+                              std::uint64_t seed,
+                              std::uint64_t model_key);
+
+} // namespace infless::faults
+
+#endif // INFLESS_FAULTS_PROFILE_ERROR_HH

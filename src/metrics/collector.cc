@@ -144,6 +144,18 @@ RunMetrics::recordBrownoutExit()
     ++brownoutExits_;
 }
 
+void
+RunMetrics::recordLimiterShed(sim::Tick)
+{
+    ++limiterSheds_;
+}
+
+void
+RunMetrics::recordLimiterBackoff()
+{
+    ++limiterBackoffs_;
+}
+
 sim::Tick
 RunMetrics::meanRestoreTicks() const
 {
@@ -275,6 +287,8 @@ RunMetrics::mergeCounters(const RunMetrics &other)
     breakerCloses_ += other.breakerCloses_;
     brownoutEntries_ += other.brownoutEntries_;
     brownoutExits_ += other.brownoutExits_;
+    limiterSheds_ += other.limiterSheds_;
+    limiterBackoffs_ += other.limiterBackoffs_;
     restoreTicksSum_ += other.restoreTicksSum_;
     latency_.merge(other.latency_);
     queueTime_.merge(other.queueTime_);

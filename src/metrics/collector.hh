@@ -108,6 +108,12 @@ class RunMetrics
     /** A function left brownout mode. */
     void recordBrownoutExit();
 
+    /** The adaptive concurrency limiter shed a request at ingress. */
+    void recordLimiterShed(sim::Tick now);
+
+    /** The adaptive limiter backed its limit off (timeout/drop signal). */
+    void recordLimiterBackoff();
+
     // Latency-surface cache (simulation engine) ---------------------------
 
     /** Snapshot the exec-model memo's hit/miss counters (absolute values;
@@ -141,6 +147,8 @@ class RunMetrics
     std::int64_t breakerCloses() const { return breakerCloses_; }
     std::int64_t brownoutEntries() const { return brownoutEntries_; }
     std::int64_t brownoutExits() const { return brownoutExits_; }
+    std::int64_t limiterSheds() const { return limiterSheds_; }
+    std::int64_t limiterBackoffs() const { return limiterBackoffs_; }
     std::uint64_t execCacheHits() const { return execCacheHits_; }
     std::uint64_t execCacheMisses() const { return execCacheMisses_; }
 
@@ -229,6 +237,8 @@ class RunMetrics
     std::int64_t breakerCloses_ = 0;
     std::int64_t brownoutEntries_ = 0;
     std::int64_t brownoutExits_ = 0;
+    std::int64_t limiterSheds_ = 0;
+    std::int64_t limiterBackoffs_ = 0;
     sim::Tick restoreTicksSum_ = 0;
     std::uint64_t execCacheHits_ = 0;
     std::uint64_t execCacheMisses_ = 0;

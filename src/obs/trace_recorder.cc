@@ -45,6 +45,8 @@ spanKindName(SpanKind kind)
         return "brownout_enter";
       case SpanKind::BrownoutExit:
         return "brownout_exit";
+      case SpanKind::LimiterShed:
+        return "limiter_shed";
     }
     return "?";
 }

@@ -52,6 +52,7 @@ enum class SpanKind : std::uint8_t
     BreakerClose,    ///< breaker closed after probes (function instant)
     BrownoutEnter,   ///< function entered degraded mode (instant)
     BrownoutExit,    ///< function left degraded mode (instant)
+    LimiterShed,     ///< adaptive limiter shed the request (instant)
 };
 
 /** Display name of a span kind (trace-event "name" field). */

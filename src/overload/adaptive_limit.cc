@@ -1,0 +1,123 @@
+#include "overload/adaptive_limit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace infless::overload {
+
+GradientLimit::GradientLimit(const AdaptiveLimitConfig &config)
+    : config_(config),
+      limit_(std::clamp(config.initialLimit, config.minLimit,
+                        config.maxLimit))
+{
+    sim::simAssert(config_.minLimit >= 1.0, "minLimit must be >= 1");
+    sim::simAssert(config_.maxLimit >= config_.minLimit,
+                   "maxLimit must be >= minLimit");
+    sim::simAssert(config_.probeInterval > 0,
+                   "probeInterval must be positive");
+    sim::simAssert(
+        config_.rttSmoothing > 0.0 && config_.rttSmoothing <= 1.0,
+        "rttSmoothing must be in (0, 1]");
+    sim::simAssert(config_.smoothing > 0.0 && config_.smoothing <= 1.0,
+                   "smoothing must be in (0, 1]");
+    sim::simAssert(config_.minGradient > 0.0 &&
+                       config_.minGradient <= config_.maxGradient,
+                   "gradient clamp must satisfy 0 < min <= max");
+    sim::simAssert(
+        config_.backoffRatio > 0.0 && config_.backoffRatio < 1.0,
+        "backoffRatio must be in (0, 1)");
+}
+
+void
+GradientLimit::advanceProbeEpoch(sim::Tick now)
+{
+    if (now - epochStart_ < config_.probeInterval)
+        return;
+    // Re-probe: adopt the best RTT seen during the closing epoch as the
+    // new baseline. An epoch with no samples keeps the old baseline —
+    // silence is not evidence the floor moved.
+    if (epochMin_ != sim::kTickNever)
+        minRtt_ = epochMin_;
+    epochMin_ = sim::kTickNever;
+    epochStart_ = now;
+}
+
+bool
+GradientLimit::onSample(sim::Tick now, sim::Tick rtt, bool timeout,
+                        std::int64_t in_flight)
+{
+    rtt = std::max<sim::Tick>(1, rtt);
+    ++samples_;
+    if (!started_) {
+        started_ = true;
+        epochStart_ = now;
+        minRtt_ = rtt;
+        sampleRtt_ = static_cast<double>(rtt);
+    } else {
+        sampleRtt_ = (1.0 - config_.rttSmoothing) * sampleRtt_ +
+                     config_.rttSmoothing * static_cast<double>(rtt);
+    }
+    // The baseline tracks the min of the *smoothed* RTT, not of raw
+    // samples. Batching platforms hold requests back on purpose (the
+    // queue waits out its slack to fill a batch), so a single lucky
+    // unbatched request can probe an RTT the steady state can never
+    // reproduce; anchoring on it would read the deliberate batching
+    // plateau as permanent congestion and pin the limit at its floor.
+    // Typical-vs-typical keeps the gradient at ~1 when the plateau is
+    // stable and <1 only when latency rises beyond it.
+    epochMin_ = std::min(
+        epochMin_,
+        std::max<sim::Tick>(1, static_cast<sim::Tick>(sampleRtt_)));
+    advanceProbeEpoch(now);
+
+    if (timeout) {
+        // A completion past the SLO is congestion evidence of the same
+        // kind as a drop: decrease multiplicatively rather than trust
+        // the (already saturated) gradient to walk the limit down.
+        return backoff(now);
+    }
+    if (config_.growthFreeze &&
+        now - lastBackoff_ < config_.backoffCooldown) {
+        // Optional: growth freezes for one cooldown after a decrease,
+        // so the healthy majority's sqrt headroom cannot regrow each
+        // backoff cut while violations are still streaming in (see the
+        // config comment for the goodput tradeoff).
+        return false;
+    }
+
+    gradient_ = std::clamp(static_cast<double>(minRtt_) / sampleRtt_,
+                           config_.minGradient, config_.maxGradient);
+    double estimate = limit_ * gradient_ + std::sqrt(limit_);
+    if (estimate > limit_ &&
+        static_cast<double>(in_flight) <
+            config_.growthUtilization * limit_) {
+        // App-limited: the current limit is not even being used, so a
+        // healthy sample is no evidence that *more* concurrency is safe.
+        return false;
+    }
+    limit_ = std::clamp((1.0 - config_.smoothing) * limit_ +
+                            config_.smoothing * estimate,
+                        config_.minLimit, config_.maxLimit);
+    return false;
+}
+
+bool
+GradientLimit::onDrop(sim::Tick now)
+{
+    return backoff(now);
+}
+
+bool
+GradientLimit::backoff(sim::Tick now)
+{
+    if (now - lastBackoff_ < config_.backoffCooldown)
+        return false;
+    lastBackoff_ = now;
+    ++backoffs_;
+    limit_ = std::max(config_.minLimit, limit_ * config_.backoffRatio);
+    return true;
+}
+
+} // namespace infless::overload

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Adaptive concurrency limiting (Netflix/Envoy gradient discipline).
+ *
+ * PR 5's admission control is feedforward: it sheds when a *predicted*
+ * sojourn exceeds the SLO slack, so every error in the profiled latency
+ * surface flows straight into shed decisions. The adaptive limiter is
+ * the feedback counterpart: it never consults the profile at all.
+ * `GradientLimit` estimates a safe concurrency from observed latencies —
+ * a periodically re-probed minRTT baseline against a smoothed sample
+ * RTT, with square-root headroom for exploration and multiplicative
+ * decrease on timeout/drop feedback — and `ConcurrencyStrategy`
+ * enforces that estimate at ingress with a plain in-flight counter.
+ * Because the inputs are measured completions, the limiter converges on
+ * the *real* capacity even when the profiler lies (the
+ * mispredicted-profile fault in src/faults/profile_error.hh).
+ *
+ * Everything is sim-clock-only and deterministic: no RNG, no wall
+ * clock, no events scheduled. State is a pure function of the
+ * (now, rtt/drop) sequence fed in, so per-cell limiters preserve the
+ * byte-identity-across-threads contract of ShardedPlatform.
+ */
+
+#ifndef INFLESS_OVERLOAD_ADAPTIVE_LIMIT_HH
+#define INFLESS_OVERLOAD_ADAPTIVE_LIMIT_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace infless::overload {
+
+/** Gradient-limiter tunables (AdmissionMode::Adaptive). */
+struct AdaptiveLimitConfig
+{
+    /** Floor of the concurrency estimate; the limiter always lets at
+     *  least this many requests in flight so it can keep sampling. */
+    double minLimit = 4.0;
+    /** Ceiling of the concurrency estimate. */
+    double maxLimit = 4096.0;
+    /** Starting estimate before any feedback has arrived. */
+    double initialLimit = 32.0;
+    /** minRTT baseline re-probe period: every interval the baseline is
+     *  replaced by the best *smoothed* RTT observed during the interval
+     *  (typical-vs-typical — a single lucky unbatched request must not
+     *  anchor the floor on a latency the batching steady state can never
+     *  reproduce), so an ancient floor from a colder epoch cannot pin
+     *  the gradient. */
+    sim::Tick probeInterval = 5 * sim::kTicksPerSec;
+    /** EMA weight of a new sample in the smoothed sample RTT. */
+    double rttSmoothing = 0.2;
+    /** EMA weight of a fresh estimate in the published limit (damps
+     *  per-sample jitter; 1.0 = jump straight to the new estimate). */
+    double smoothing = 0.3;
+    /**
+     * Gradient clamp. The default floor of 1.0 makes the gradient a
+     * growth-only signal: on a deadline-batching platform, below-SLO
+     * latency is shaped by the batching policy and fleet size (queues
+     * deliberately wait out their slack to fill batches, and an
+     * over-provisioned fleet probes RTTs the right-sized one can never
+     * reproduce), so latency drift below the SLO is not congestion
+     * evidence and must not shrink the limit. Decrease comes from the
+     * explicit timeout/drop feedback instead. Deployments whose latency
+     * *is* monotone in congestion can lower the floor to re-enable
+     * gradient-driven decrease. The ceiling keeps one lucky window from
+     * doubling the limit.
+     */
+    double minGradient = 1.0;
+    double maxGradient = 1.5;
+    /**
+     * Growth requires evidence: the limit only rises while in-flight
+     * occupancy is at least this fraction of it. Without the gate an
+     * uncontended limiter walks to maxLimit and every burst onset
+     * over-admits by the accumulated headroom before feedback returns
+     * (one full RTT later). 0 disables the gate.
+     */
+    double growthUtilization = 0.5;
+    /**
+     * Enforcement requires evidence: the ingress gate only rejects once
+     * the estimator has consumed this many latency samples. Before that
+     * the limit is a prior, not feedback — rejecting on it would shed
+     * the very load the first fleet is being built for (cold starts are
+     * provisioning, not congestion), and a gate that engages mid-burst
+     * with an unlearned limit sheds requests the still-warming fleet
+     * was about to absorb. Requests admitted during warmup still take
+     * in-flight slots when one is free, so the estimator keeps
+     * learning; only the reject branch is disarmed. The default is
+     * sized to outlast the backlog drain that follows first warm
+     * capacity (samples flow only from slot-holders, so a quota of N
+     * is N slot-holder round-trips, not N arrivals).
+     */
+    std::int64_t warmupSamples = 256;
+    /** Multiplicative decrease applied on timeout/drop feedback. */
+    double backoffRatio = 0.9;
+    /** At most one multiplicative decrease per cooldown, so a burst of
+     *  simultaneous drops (one lost batch) counts as one signal, not
+     *  compounding to backoffRatio^N. */
+    sim::Tick backoffCooldown = 100 * sim::kTicksPerMs;
+    /**
+     * Freeze growth for one backoffCooldown after each decrease.
+     * Violations and healthy completions interleave while a queue
+     * drains, and without the freeze the healthy majority's sqrt
+     * headroom regrows everything each backoff cut — on a hopelessly
+     * saturated fixture the limit can never descend to the binding
+     * point. Off by default: on a fixture whose deadline queue already
+     * drops precisely the requests that cannot meet the SLO, letting
+     * the limit crash below queue capacity trades goodput for ingress
+     * sheds (measured ~0.3% SLO-goodput loss at 2x overload). Enable
+     * it when the limiter must actually bind — chronically
+     * under-provisioned functions where relabeling queue drops as
+     * cheap ingress sheds is the point.
+     */
+    bool growthFreeze = false;
+};
+
+/**
+ * The estimator half (SNIPPETS Snippet 3's `Limit`): consumes latency
+ * samples and drop signals, publishes a concurrency limit.
+ *
+ *   gradient = clamp(minRTT / sampleRTT, minGradient, maxGradient)
+ *   estimate = limit * gradient + sqrt(limit)
+ *   limit    = (1 - smoothing) * limit + smoothing * estimate
+ *
+ * The sqrt(limit) headroom keeps the limit growing while latency holds
+ * at the baseline (gradient ~= 1), so the limiter explores upward — but
+ * only while the current limit is actually being used (the
+ * growthUtilization gate), so an idle limiter cannot bank unearned
+ * headroom. Decrease comes from timeout/drop feedback (and, when
+ * minGradient < 1, from the gradient itself).
+ */
+class GradientLimit
+{
+  public:
+    GradientLimit() : GradientLimit(AdaptiveLimitConfig{}) {}
+
+    explicit GradientLimit(const AdaptiveLimitConfig &config);
+
+    /**
+     * Feed one completion's observed latency. @p timeout marks a
+     * completion past the (effective) SLO: it still feeds the RTT
+     * estimate but triggers multiplicative decrease instead of a
+     * gradient update. @p in_flight is the concurrent occupancy at
+     * completion time (the growth-utilization gate's evidence).
+     *
+     * @return true when a multiplicative decrease fired (for metrics).
+     */
+    bool onSample(sim::Tick now, sim::Tick rtt, bool timeout,
+                  std::int64_t in_flight);
+
+    /** Feed a drop of an admitted request (queue overrun, crash with
+     *  dry budget, eviction). @return true when a decrease fired. */
+    bool onDrop(sim::Tick now);
+
+    /** Current concurrency limit estimate. */
+    double limit() const { return limit_; }
+
+    /** Current minRTT baseline (0 until the first sample). */
+    sim::Tick minRtt() const { return minRtt_; }
+
+    /** Last computed (clamped) gradient; 1 until the first sample. */
+    double gradient() const { return gradient_; }
+
+    /** Multiplicative decreases applied so far. */
+    std::int64_t backoffs() const { return backoffs_; }
+
+    /** Latency samples consumed so far. */
+    std::int64_t samples() const { return samples_; }
+
+    /** True once the estimator has consumed warmupSamples samples and
+     *  the limit is feedback rather than a prior (see config). */
+    bool warmedUp() const { return samples_ >= config_.warmupSamples; }
+
+    const AdaptiveLimitConfig &config() const { return config_; }
+
+  private:
+    /** Rate-limited multiplicative decrease; true when it fired. */
+    bool backoff(sim::Tick now);
+    void advanceProbeEpoch(sim::Tick now);
+
+    AdaptiveLimitConfig config_;
+    double limit_;
+    double gradient_ = 1.0;
+    /** Smoothed sample RTT (EMA); 0 until the first sample. */
+    double sampleRtt_ = 0.0;
+    /** Baseline: best smoothed RTT of the previous probe epoch. */
+    sim::Tick minRtt_ = 0;
+    /** Best smoothed RTT inside the current probe epoch. */
+    sim::Tick epochMin_ = sim::kTickNever;
+    sim::Tick epochStart_ = 0;
+    bool started_ = false;
+    sim::Tick lastBackoff_ = -sim::kTicksPerHour;
+    std::int64_t backoffs_ = 0;
+    std::int64_t samples_ = 0;
+};
+
+/**
+ * The enforcement half (Snippet 3's `Strategy`): a per-function
+ * in-flight counter gated against the published limit at ingress.
+ * Acquire on admission, release exactly once on the terminal paths
+ * (completion or drop) — the platform tracks the held flag per request
+ * so retries and chain stages never double-acquire.
+ */
+class ConcurrencyStrategy
+{
+  public:
+    /** Admit when in-flight < floor(limit) (>= 1 always probes). */
+    bool tryAcquire(double limit)
+    {
+        auto cap = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(limit));
+        if (inFlight_ >= cap)
+            return false;
+        ++inFlight_;
+        return true;
+    }
+
+    /** Release one admitted request (terminal completion or drop). */
+    void release()
+    {
+        if (inFlight_ > 0)
+            --inFlight_;
+    }
+
+    std::int64_t inFlight() const { return inFlight_; }
+
+  private:
+    std::int64_t inFlight_ = 0;
+};
+
+/** The per-function pair the platform holds. */
+struct AdaptiveLimiter
+{
+    AdaptiveLimiter() = default;
+
+    explicit AdaptiveLimiter(const AdaptiveLimitConfig &config)
+        : limit(config)
+    {
+    }
+
+    GradientLimit limit;
+    ConcurrencyStrategy strategy;
+};
+
+} // namespace infless::overload
+
+#endif // INFLESS_OVERLOAD_ADAPTIVE_LIMIT_HH

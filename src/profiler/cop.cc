@@ -30,11 +30,32 @@ CopPredictor::prewarm(const models::ModelInfo &model,
     return memo_.size() - before;
 }
 
+void
+CopPredictor::setDistortion(
+    std::function<double(std::uint64_t)> multiplier)
+{
+    distortion_ = std::move(multiplier);
+    distortionMemo_.clear();
+}
+
+double
+CopPredictor::distortionFor(const models::ModelInfo &model) const
+{
+    auto it = distortionMemo_.find(model.noiseKey);
+    if (it != distortionMemo_.end())
+        return it->second;
+    double mult = distortion_(model.noiseKey);
+    sim::simAssert(mult > 0.0,
+                   "profile distortion must stay positive");
+    distortionMemo_.emplace(model.noiseKey, mult);
+    return mult;
+}
+
 double
 CopPredictor::rawMicros(const models::ModelInfo &model, int batch,
                         const cluster::Resources &res) const
 {
-    return memo_.memo(
+    double raw = memo_.memo(
         model.noiseKey, res.cpuMillicores, res.gpuSmPercent, batch, [&] {
             double path =
                 model.dag.criticalPath([&](const models::OpNode &op) {
@@ -44,6 +65,13 @@ CopPredictor::rawMicros(const models::ModelInfo &model, int batch,
             // profiler measures once; it composes additively.
             return path + db_.truth().params().batchDispatchUs;
         });
+    // The mispredicted-profile fault scales what the controllers see;
+    // the memo keeps the faithful composition so the distortion can be
+    // swapped without re-pricing. No distortion installed = the exact
+    // code path (and bits) of a faithful profiler.
+    if (distortion_)
+        raw *= distortionFor(model);
+    return raw;
 }
 
 sim::Tick

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the mispredicted-profile fault: the deterministic per-model
+ * multiplier, its jitter bounds, and the predictor-side distortion —
+ * controller-visible predictions scale while the memoized faithful
+ * composition (and thus ground truth) stays intact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/resources.hh"
+#include "faults/profile_error.hh"
+#include "models/exec_model.hh"
+#include "models/model_zoo.hh"
+#include "profiler/cop.hh"
+#include "profiler/op_profile_db.hh"
+
+namespace {
+
+using infless::cluster::Resources;
+using infless::faults::ProfileErrorConfig;
+using infless::faults::profileErrorMultiplier;
+using infless::models::ExecModel;
+using infless::models::ModelZoo;
+using infless::profiler::CopPredictor;
+using infless::profiler::OpProfileDb;
+
+TEST(ProfileErrorTest, DefaultIsDisabledAndExactlyUnity)
+{
+    ProfileErrorConfig cfg;
+    EXPECT_FALSE(cfg.enabled());
+    EXPECT_DOUBLE_EQ(profileErrorMultiplier(cfg, 42, 7), 1.0);
+}
+
+TEST(ProfileErrorTest, PureFactorIsExactForEveryModel)
+{
+    ProfileErrorConfig cfg;
+    cfg.factor = 1.5;
+    EXPECT_TRUE(cfg.enabled());
+    for (std::uint64_t key = 0; key < 8; ++key) {
+        EXPECT_DOUBLE_EQ(profileErrorMultiplier(cfg, 1, key), 1.5);
+        EXPECT_DOUBLE_EQ(profileErrorMultiplier(cfg, 99, key), 1.5);
+    }
+}
+
+TEST(ProfileErrorTest, JitterIsBoundedAndDeterministic)
+{
+    ProfileErrorConfig cfg;
+    cfg.factor = 1.5;
+    cfg.jitter = 0.2;
+    double lo = 1.5 * std::exp(-0.2);
+    double hi = 1.5 * std::exp(0.2);
+    for (std::uint64_t key = 0; key < 32; ++key) {
+        double m = profileErrorMultiplier(cfg, 42, key);
+        EXPECT_GE(m, lo);
+        EXPECT_LE(m, hi);
+        // Pure hash: the same inputs always produce the same lie.
+        EXPECT_DOUBLE_EQ(m, profileErrorMultiplier(cfg, 42, key));
+    }
+}
+
+TEST(ProfileErrorTest, JitterSpreadsAcrossModelsAndSeeds)
+{
+    ProfileErrorConfig cfg;
+    cfg.factor = 1.0;
+    cfg.jitter = 0.3;
+    // Different models drift by different ratios under the same seed,
+    // and reseeding redraws the surface.
+    EXPECT_NE(profileErrorMultiplier(cfg, 42, 1),
+              profileErrorMultiplier(cfg, 42, 2));
+    EXPECT_NE(profileErrorMultiplier(cfg, 42, 1),
+              profileErrorMultiplier(cfg, 43, 1));
+}
+
+struct ProfileErrorPredictorFixture : ::testing::Test
+{
+    ExecModel exec;
+    OpProfileDb db{exec};
+    CopPredictor cop{db};
+    const infless::models::ModelInfo &resnet =
+        ModelZoo::shared().get("ResNet-50");
+    Resources res{2000, 10, 0};
+};
+
+TEST_F(ProfileErrorPredictorFixture, DistortionScalesPredictions)
+{
+    double faithful_raw = cop.rawMicros(resnet, 4, res);
+    double faithful_pred =
+        static_cast<double>(cop.predict(resnet, 4, res));
+
+    cop.setDistortion([](std::uint64_t) { return 1.5; });
+    EXPECT_NEAR(cop.rawMicros(resnet, 4, res), 1.5 * faithful_raw,
+                1e-6 * faithful_raw);
+    // The safety offset multiplies on top of the lie (predict() is
+    // Tick-quantized, hence the 1-tick slack).
+    EXPECT_NEAR(static_cast<double>(cop.predict(resnet, 4, res)),
+                1.5 * faithful_pred, 2.0);
+}
+
+TEST_F(ProfileErrorPredictorFixture, MemoKeepsTheFaithfulComposition)
+{
+    // Warm the memo undistorted, then lie: the distortion applies
+    // post-memo, so it takes effect immediately and swapping it back
+    // restores the faithful bits without re-pricing.
+    double faithful = cop.rawMicros(resnet, 8, res);
+    cop.setDistortion([](std::uint64_t) { return 2.0; });
+    EXPECT_DOUBLE_EQ(cop.rawMicros(resnet, 8, res), 2.0 * faithful);
+    cop.setDistortion({});
+    EXPECT_DOUBLE_EQ(cop.rawMicros(resnet, 8, res), faithful);
+}
+
+TEST_F(ProfileErrorPredictorFixture, GroundTruthErrorReflectsTheLie)
+{
+    // predictionError measures the raw estimate against the untouched
+    // execution surface — a 1.5x distortion must surface as ~50% more
+    // relative error, proving execution truth is not distorted along
+    // with the prediction.
+    double honest = cop.predictionError(exec, resnet, 4, res);
+    cop.setDistortion([](std::uint64_t) { return 1.5; });
+    double lying = cop.predictionError(exec, resnet, 4, res);
+    EXPECT_GT(lying, honest);
+    EXPECT_GT(lying, 0.3);
+}
+
+} // namespace

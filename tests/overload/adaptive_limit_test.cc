@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the gradient concurrency limiter: growth under flat
+ * RTT (only while utilized), multiplicative decrease on timeout/drop
+ * with cooldown coalescing and frozen growth, minRTT re-probe epochs,
+ * clamps, the warmup quota, and the in-flight enforcement strategy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "overload/adaptive_limit.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using infless::overload::AdaptiveLimitConfig;
+using infless::overload::ConcurrencyStrategy;
+using infless::overload::GradientLimit;
+using infless::sim::kTicksPerMs;
+using infless::sim::kTicksPerSec;
+using infless::sim::Tick;
+
+/** Exact-arithmetic config: no EMA damping (both smoothings 1.0), so
+ *  every expected limit below is a closed-form expression. */
+AdaptiveLimitConfig
+testConfig()
+{
+    AdaptiveLimitConfig cfg;
+    cfg.minLimit = 1.0;
+    cfg.maxLimit = 100.0;
+    cfg.initialLimit = 16.0;
+    cfg.probeInterval = kTicksPerSec;
+    cfg.rttSmoothing = 1.0; // sampleRTT == last sample
+    cfg.smoothing = 1.0;    // limit jumps straight to the estimate
+    cfg.maxGradient = 2.0;
+    cfg.growthUtilization = 0.5;
+    cfg.backoffRatio = 0.5;
+    cfg.backoffCooldown = 100 * kTicksPerMs;
+    cfg.warmupSamples = 4;
+    return cfg;
+}
+
+TEST(GradientLimitTest, StartsAtClampedInitialLimit)
+{
+    GradientLimit lim(testConfig());
+    EXPECT_DOUBLE_EQ(lim.limit(), 16.0);
+    EXPECT_EQ(lim.samples(), 0);
+    EXPECT_EQ(lim.backoffs(), 0);
+
+    AdaptiveLimitConfig wild = testConfig();
+    wild.initialLimit = 1e9;
+    EXPECT_DOUBLE_EQ(GradientLimit(wild).limit(), wild.maxLimit);
+}
+
+TEST(GradientLimitTest, FlatRttGrowsBySqrtHeadroomWhenUtilized)
+{
+    GradientLimit lim(testConfig());
+    // Flat RTT at the baseline: gradient 1, estimate = L + sqrt(L).
+    double expected = 16.0;
+    Tick t = 0;
+    for (int i = 0; i < 5; ++i, t += kTicksPerMs) {
+        lim.onSample(t, 10 * kTicksPerMs, false,
+                     static_cast<std::int64_t>(expected));
+        expected += std::sqrt(expected);
+        EXPECT_DOUBLE_EQ(lim.limit(), expected);
+    }
+    EXPECT_DOUBLE_EQ(lim.gradient(), 1.0);
+}
+
+TEST(GradientLimitTest, AppLimitedSamplesDoNotGrow)
+{
+    GradientLimit lim(testConfig());
+    // in_flight below growthUtilization x limit: healthy samples are
+    // no evidence that more concurrency is safe.
+    for (int i = 0; i < 10; ++i)
+        lim.onSample(i * kTicksPerMs, 10 * kTicksPerMs, false, 7);
+    EXPECT_DOUBLE_EQ(lim.limit(), 16.0);
+    // At exactly the utilization threshold growth resumes.
+    lim.onSample(20 * kTicksPerMs, 10 * kTicksPerMs, false, 8);
+    EXPECT_DOUBLE_EQ(lim.limit(), 20.0);
+}
+
+TEST(GradientLimitTest, TimeoutBacksOffMultiplicatively)
+{
+    GradientLimit lim(testConfig());
+    EXPECT_TRUE(lim.onSample(0, 500 * kTicksPerMs, true, 16));
+    EXPECT_DOUBLE_EQ(lim.limit(), 8.0);
+    EXPECT_EQ(lim.backoffs(), 1);
+}
+
+TEST(GradientLimitTest, DropBacksOffLikeTimeout)
+{
+    GradientLimit lim(testConfig());
+    EXPECT_TRUE(lim.onDrop(0));
+    EXPECT_DOUBLE_EQ(lim.limit(), 8.0);
+    EXPECT_EQ(lim.backoffs(), 1);
+}
+
+TEST(GradientLimitTest, CooldownCoalescesBackoffBursts)
+{
+    GradientLimit lim(testConfig());
+    // One lost batch = many near-simultaneous drops = one signal.
+    EXPECT_TRUE(lim.onDrop(0));
+    EXPECT_FALSE(lim.onDrop(1));
+    EXPECT_FALSE(lim.onDrop(50 * kTicksPerMs));
+    EXPECT_DOUBLE_EQ(lim.limit(), 8.0);
+    EXPECT_EQ(lim.backoffs(), 1);
+    EXPECT_TRUE(lim.onDrop(100 * kTicksPerMs));
+    EXPECT_DOUBLE_EQ(lim.limit(), 4.0);
+}
+
+TEST(GradientLimitTest, GrowthFreezesDuringBackoffCooldownWhenEnabled)
+{
+    AdaptiveLimitConfig cfg = testConfig();
+    cfg.growthFreeze = true;
+    GradientLimit lim(cfg);
+    lim.onDrop(0);
+    ASSERT_DOUBLE_EQ(lim.limit(), 8.0);
+    // Healthy, fully-utilized samples inside the cooldown must not
+    // regrow what the backoff just cut — violations and healthy
+    // completions interleave while a queue drains.
+    lim.onSample(10 * kTicksPerMs, 10 * kTicksPerMs, false, 8);
+    lim.onSample(60 * kTicksPerMs, 10 * kTicksPerMs, false, 8);
+    EXPECT_DOUBLE_EQ(lim.limit(), 8.0);
+    // Past the cooldown, growth resumes.
+    lim.onSample(100 * kTicksPerMs, 10 * kTicksPerMs, false, 8);
+    EXPECT_DOUBLE_EQ(lim.limit(), 8.0 + std::sqrt(8.0));
+}
+
+TEST(GradientLimitTest, GrowthResumesInsideCooldownByDefault)
+{
+    // Default (freeze off): a healthy, fully-utilized sample regrows
+    // the limit immediately even inside the backoff cooldown — on a
+    // fixture whose deadline queue already sheds precisely, the limit
+    // crashing below queue capacity would trade goodput for sheds.
+    GradientLimit lim(testConfig());
+    lim.onDrop(0);
+    ASSERT_DOUBLE_EQ(lim.limit(), 8.0);
+    lim.onSample(10 * kTicksPerMs, 10 * kTicksPerMs, false, 8);
+    EXPECT_DOUBLE_EQ(lim.limit(), 8.0 + std::sqrt(8.0));
+}
+
+TEST(GradientLimitTest, BackoffFloorsAtMinLimit)
+{
+    GradientLimit lim(testConfig());
+    for (int i = 0; i < 20; ++i)
+        lim.onDrop(Tick(i) * 100 * kTicksPerMs);
+    EXPECT_DOUBLE_EQ(lim.limit(), 1.0);
+}
+
+TEST(GradientLimitTest, GrowthCapsAtMaxLimit)
+{
+    GradientLimit lim(testConfig());
+    for (int i = 0; i < 200; ++i)
+        lim.onSample(i * kTicksPerMs, 10 * kTicksPerMs, false, 100);
+    EXPECT_DOUBLE_EQ(lim.limit(), 100.0);
+}
+
+TEST(GradientLimitTest, GradientIsGrowthOnlyAtDefaultFloor)
+{
+    // minGradient 1.0 (the default): rising latency cannot shrink the
+    // limit through the gradient — decrease is timeout/drop-only. On a
+    // deadline-batching platform, below-SLO latency tracks the batching
+    // policy, not congestion.
+    GradientLimit lim(testConfig());
+    lim.onSample(0, 10 * kTicksPerMs, false, 16);
+    double after_first = lim.limit();
+    lim.onSample(kTicksPerMs, 80 * kTicksPerMs, false, 16);
+    EXPECT_DOUBLE_EQ(lim.gradient(), 1.0);
+    EXPECT_GE(lim.limit(), after_first);
+}
+
+TEST(GradientLimitTest, GradientCapsOneLuckyWindow)
+{
+    GradientLimit lim(testConfig());
+    lim.onSample(0, 100 * kTicksPerMs, false, 16);
+    // RTT collapses to a tenth of the baseline: the gradient clamps at
+    // maxGradient instead of letting one window double the limit.
+    lim.onSample(kTicksPerMs, 10 * kTicksPerMs, false, 1000);
+    EXPECT_DOUBLE_EQ(lim.gradient(), 2.0);
+}
+
+TEST(GradientLimitTest, ReprobeAdoptsEpochMinAsBaseline)
+{
+    GradientLimit lim(testConfig());
+    lim.onSample(0, 100 * kTicksPerMs, false, 1);
+    EXPECT_EQ(lim.minRtt(), 100 * kTicksPerMs);
+    // Better smoothed RTTs inside the epoch become the next baseline
+    // once the probe interval elapses.
+    lim.onSample(200 * kTicksPerMs, 40 * kTicksPerMs, false, 1);
+    lim.onSample(400 * kTicksPerMs, 60 * kTicksPerMs, false, 1);
+    EXPECT_EQ(lim.minRtt(), 100 * kTicksPerMs); // epoch still open
+    lim.onSample(kTicksPerSec, 60 * kTicksPerMs, false, 1);
+    EXPECT_EQ(lim.minRtt(), 40 * kTicksPerMs);
+}
+
+TEST(GradientLimitTest, WarmupQuotaGatesEnforcementReadiness)
+{
+    GradientLimit lim(testConfig()); // warmupSamples = 4
+    EXPECT_FALSE(lim.warmedUp());
+    for (int i = 0; i < 3; ++i) {
+        lim.onSample(i * kTicksPerMs, 10 * kTicksPerMs, false, 16);
+        EXPECT_FALSE(lim.warmedUp());
+    }
+    lim.onSample(3 * kTicksPerMs, 10 * kTicksPerMs, false, 16);
+    EXPECT_TRUE(lim.warmedUp());
+    EXPECT_EQ(lim.samples(), 4);
+}
+
+TEST(GradientLimitTest, IdenticalFeedsProduceIdenticalState)
+{
+    auto run = [] {
+        GradientLimit lim(testConfig());
+        for (int i = 0; i < 50; ++i) {
+            Tick t = i * 10 * kTicksPerMs;
+            if (i % 7 == 3)
+                lim.onDrop(t);
+            else
+                lim.onSample(t, (10 + i % 5) * kTicksPerMs, i % 11 == 5,
+                             16 + i % 8);
+        }
+        return std::make_tuple(lim.limit(), lim.minRtt(),
+                               lim.gradient(), lim.backoffs(),
+                               lim.samples());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(ConcurrencyStrategyTest, AcquireCapsAtFloorOfLimit)
+{
+    ConcurrencyStrategy s;
+    EXPECT_TRUE(s.tryAcquire(2.9));
+    EXPECT_TRUE(s.tryAcquire(2.9));
+    EXPECT_FALSE(s.tryAcquire(2.9)); // floor(2.9) = 2
+    EXPECT_EQ(s.inFlight(), 2);
+    s.release();
+    EXPECT_EQ(s.inFlight(), 1);
+    EXPECT_TRUE(s.tryAcquire(2.9));
+}
+
+TEST(ConcurrencyStrategyTest, SubUnitLimitStillProbesOne)
+{
+    // A collapsed limit must keep at least one request flowing or the
+    // estimator starves and can never observe recovery.
+    ConcurrencyStrategy s;
+    EXPECT_TRUE(s.tryAcquire(0.3));
+    EXPECT_FALSE(s.tryAcquire(0.3));
+    s.release();
+    EXPECT_TRUE(s.tryAcquire(0.3));
+}
+
+TEST(ConcurrencyStrategyTest, ReleaseNeverUnderflows)
+{
+    ConcurrencyStrategy s;
+    s.release();
+    EXPECT_EQ(s.inFlight(), 0);
+    EXPECT_TRUE(s.tryAcquire(1.0));
+}
+
+} // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "overload/circuit_breaker.hh"
+#include "overload/retry_budget.hh"
 #include "sim/time.hh"
 
 namespace {
@@ -174,6 +175,62 @@ TEST(CircuitBreakerTest, RecoveredWindowStaysClosed)
     // inside the time window.
     feed(b, t + 10, 10, false);
     EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, FailedProbeCycleDoesNotWedge)
+{
+    // The full relapse cycle: open -> half-open -> probe fails ->
+    // reopen -> second cooldown -> probes succeed -> closed. A breaker
+    // that reopens on a bad probe must remain recoverable — the
+    // reopened state is a fresh Open with a fresh cooldown, not a
+    // terminal one.
+    CircuitBreaker b(testConfig());
+    feed(b, 0, 10, true);
+    ASSERT_EQ(b.state(), BreakerState::Open);
+
+    Tick t = b.openedAt() + kTicksPerSec;
+    EXPECT_TRUE(b.allow(t, 0));
+    b.record(t, true); // probe fails: relapse
+    ASSERT_EQ(b.state(), BreakerState::Open);
+    EXPECT_EQ(b.openedAt(), t);
+
+    // Still shedding through the second cooldown.
+    EXPECT_FALSE(b.allow(t + kTicksPerSec - 1, 1));
+
+    // Second recovery attempt succeeds: halfOpenSuccesses clean probes
+    // close it for good.
+    Tick t2 = t + kTicksPerSec;
+    EXPECT_TRUE(b.allow(t2, 2));
+    ASSERT_EQ(b.state(), BreakerState::HalfOpen);
+    for (int i = 0; i < 3; ++i)
+        b.record(t2 + i, false);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    // closed->open, open->half, half->open, open->half, half->closed.
+    ASSERT_EQ(b.transitions().size(), 5u);
+    EXPECT_EQ(b.transitions().back().to, BreakerState::Closed);
+    // And it admits traffic again.
+    EXPECT_TRUE(b.allow(t2 + 10, 3));
+}
+
+TEST(RetryBudgetWedgeTest, ExhaustedBudgetRecoversOnSuccesses)
+{
+    // An exhausted retry budget must not wedge recovery: first-attempt
+    // successes keep depositing, so once the incident passes the
+    // bucket refills and retries flow again.
+    infless::overload::RetryBudgetConfig cfg;
+    cfg.enabled = true;
+    cfg.burst = 2.0;
+    cfg.refillPerSuccess = 0.5;
+    infless::overload::RetryBudget budget(cfg);
+
+    while (budget.tryConsume()) {
+    }
+    EXPECT_FALSE(budget.tryConsume()); // exhausted
+    for (int i = 0; i < 4; ++i)
+        budget.onSuccess();
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_TRUE(budget.tryConsume());
+    EXPECT_FALSE(budget.tryConsume()); // capped at burst again
 }
 
 TEST(CircuitBreakerTest, StateNames)

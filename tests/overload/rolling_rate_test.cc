@@ -12,6 +12,7 @@ namespace {
 
 using infless::overload::RollingRate;
 using infless::sim::kTicksPerSec;
+using infless::sim::Tick;
 
 TEST(RollingRateTest, StartsEmpty)
 {
@@ -51,6 +52,54 @@ TEST(RollingRateTest, SlotReuseResetsStaleCounts)
     rate.record(kTicksPerSec, false);
     EXPECT_EQ(rate.samples(kTicksPerSec), 1);
     EXPECT_DOUBLE_EQ(rate.failureRate(kTicksPerSec), 0.0);
+}
+
+// 4 buckets over a 1s window: each bucket spans 250ms of sim time.
+constexpr Tick kBucket = kTicksPerSec / 4;
+
+TEST(RollingRateTest, IdleGapLongerThanWindowReadsEmpty)
+{
+    // Reads after a long idle gap must not resurrect pre-gap counts:
+    // every slot still holds an old absolute bucket index and is
+    // skipped without mutation (pure-read staleness check).
+    RollingRate rate(kTicksPerSec, 4);
+    for (int i = 0; i < 8; ++i)
+        rate.record(i * 100'000, true); // buckets 0,0,0,1,1,2,2,2
+    EXPECT_EQ(rate.samples(700'000), 8);
+    EXPECT_EQ(rate.samples(100 * kTicksPerSec), 0);
+    EXPECT_DOUBLE_EQ(rate.failureRate(100 * kTicksPerSec), 0.0);
+    // The stale state is still there (reads don't mutate) and ages out
+    // per-slot, not all-or-nothing: a read just inside the horizon
+    // still sees the tail bucket (t=500..700ms -> three outcomes).
+    EXPECT_EQ(rate.samples(700'000 + 3 * kBucket), 3);
+}
+
+TEST(RollingRateTest, PartialGapExpiresOnlyTheStaleBuckets)
+{
+    // Outcomes in buckets 0 and 1, then a gap to bucket 4: bucket 0
+    // has left the window [1..4], bucket 1 has not.
+    RollingRate rate(kTicksPerSec, 4);
+    rate.record(0, true);                // bucket 0
+    rate.record(kBucket, false);         // bucket 1
+    rate.record(kBucket + 10'000, false); // bucket 1
+    Tick t = 4 * kBucket;                // bucket 4; window spans 1..4
+    EXPECT_EQ(rate.samples(t), 2);
+    EXPECT_DOUBLE_EQ(rate.failureRate(t), 0.0);
+}
+
+TEST(RollingRateTest, WrapAroundReuseAfterIdleGap)
+{
+    // After a multiple-of-ring gap the new outcome lands in the same
+    // physical slot as the old one; the slot must be reinitialised for
+    // the new bucket index, and the other stale slots must stay dead.
+    RollingRate rate(kTicksPerSec, 4);
+    rate.record(0, true);           // bucket 0, slot 0
+    rate.record(100'000, true);     // bucket 0, slot 0
+    rate.record(kBucket + 50'000, true); // bucket 1, slot 1
+    Tick later = 8 * kBucket;       // bucket 8 -> slot 0 again
+    rate.record(later, false);
+    EXPECT_EQ(rate.samples(later), 1);
+    EXPECT_DOUBLE_EQ(rate.failureRate(later), 0.0);
 }
 
 TEST(RollingRateTest, ResetClearsEverything)
