@@ -98,15 +98,16 @@ CapacityIndex::consistentWith(const std::vector<Server> &servers) const
             if (id < 0 || static_cast<std::size_t>(id) >= servers.size())
                 return false;
             const Server &s = servers[static_cast<std::size_t>(id)];
-            if (s.isDown() || !(s.available() == avail))
+            if (s.isDown() || s.isRetired() || !(s.available() == avail))
                 return false;
             ++filed;
         }
     }
-    // Down servers are unfiled: classes partition the *up* servers only.
+    // Down and retired servers are unfiled: classes partition the *up,
+    // still-member* servers only.
     std::size_t up = 0;
     for (const auto &s : servers)
-        up += s.isDown() ? 0 : 1;
+        up += (s.isDown() || s.isRetired()) ? 0 : 1;
     return filed == up && serverCount_ == up;
 }
 

@@ -2,23 +2,30 @@
  * @file
  * Partitioning a server fleet into scheduling cells.
  *
- * A cell is a contiguous slice of the server-id space that one Platform
- * instance owns exclusively: its own CapacityIndex, event queue and
- * metrics shard. Contiguous near-equal slices keep the mapping trivial
- * (cellOf is a comparison against precomputed bounds, not a hash) and
- * make a cells=1 partition cover exactly the flat cluster.
+ * A cell is a set of server ids that one Platform instance owns
+ * exclusively: its own CapacityIndex, event queue and metrics shard.
+ * Construction still hands out contiguous near-equal slices (cells=1
+ * covers exactly the flat cluster), but ownership is *dynamic*: the
+ * CellMembership map tracks which cell owns each global server id and
+ * which local id the owning cell filed it under, so servers can migrate
+ * between cells at window barriers without any contiguous-range
+ * arithmetic baked into lookups.
  */
 
 #ifndef INFLESS_CLUSTER_CELL_PARTITION_HH
 #define INFLESS_CLUSTER_CELL_PARTITION_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <stdexcept>
 #include <vector>
 
+#include "cluster/server.hh"
+#include "sim/logging.hh"
+
 namespace infless::cluster {
 
-/** Half-open server-id range [begin, end) owned by one cell. */
+/** Half-open server-id range [begin, end) seeding one cell. */
 struct CellSlice
 {
     std::size_t begin = 0;
@@ -35,17 +42,24 @@ struct CellSlice
  * The remainder of the floor division goes to the first slices, so sizes
  * differ by at most one and every server belongs to exactly one slice.
  *
- * @throws std::invalid_argument when cells is zero or exceeds the number
- *         of servers (an empty cell would have no placement targets).
+ * Edge handling is explicit rather than left to caller discipline:
+ *  - @p cells == 0 or @p num_servers == 0 throws std::invalid_argument
+ *    (a partition with no cells, or cells with no placement targets,
+ *    has no meaning).
+ *  - @p cells > @p num_servers clamps to one server per cell: the
+ *    caller gets num_servers single-server slices instead of empty
+ *    cells. Callers that size per-cell state must use the returned
+ *    vector's length, not the requested cell count.
  */
 inline std::vector<CellSlice>
 partitionServers(std::size_t num_servers, std::size_t cells)
 {
     if (cells == 0)
         throw std::invalid_argument("partitionServers: cells must be > 0");
+    if (num_servers == 0)
+        throw std::invalid_argument("partitionServers: no servers");
     if (cells > num_servers)
-        throw std::invalid_argument(
-            "partitionServers: more cells than servers");
+        cells = num_servers;
     std::vector<CellSlice> slices(cells);
     std::size_t base = num_servers / cells;
     std::size_t extra = num_servers % cells;
@@ -57,6 +71,167 @@ partitionServers(std::size_t num_servers, std::size_t cells)
     }
     return slices;
 }
+
+/**
+ * Dynamic global-server-id <-> (cell, local id) mapping.
+ *
+ * Starts from the contiguous partitionServers() layout and is updated by
+ * migrate() whenever a server moves between cells. Lookups are O(1)
+ * array reads; per-cell member lists are kept sorted by global id so
+ * donor scans and any iteration over a cell's servers are deterministic
+ * regardless of migration history.
+ *
+ * Local ids only ever grow in the receiving cell (the cell's Platform
+ * appends an adopted server to its Cluster); the donor's old local slot
+ * is retired and maps to kNoServer.
+ */
+class CellMembership
+{
+  public:
+    CellMembership(std::size_t num_servers, std::size_t cells)
+    {
+        auto slices = partitionServers(num_servers, cells);
+        cellOf_.resize(num_servers);
+        localOf_.resize(num_servers);
+        members_.resize(slices.size());
+        localToGlobal_.resize(slices.size());
+        for (std::size_t c = 0; c < slices.size(); ++c) {
+            members_[c].reserve(slices[c].size());
+            localToGlobal_[c].reserve(slices[c].size());
+            for (std::size_t g = slices[c].begin; g < slices[c].end; ++g) {
+                cellOf_[g] = c;
+                localOf_[g] =
+                    static_cast<ServerId>(g - slices[c].begin);
+                members_[c].push_back(static_cast<ServerId>(g));
+                localToGlobal_[c].push_back(static_cast<ServerId>(g));
+            }
+        }
+    }
+
+    std::size_t cellCount() const { return members_.size(); }
+    std::size_t totalServers() const { return cellOf_.size(); }
+
+    /** Cell currently owning global server @p global. */
+    std::size_t
+    cellOf(ServerId global) const
+    {
+        checkGlobal(global);
+        return cellOf_[static_cast<std::size_t>(global)];
+    }
+
+    /** Local id the owning cell filed @p global under. */
+    ServerId
+    localId(ServerId global) const
+    {
+        checkGlobal(global);
+        return localOf_[static_cast<std::size_t>(global)];
+    }
+
+    /** Global id behind (cell, local); kNoServer for retired slots. */
+    ServerId
+    globalId(std::size_t cell, ServerId local) const
+    {
+        sim::simAssert(cell < members_.size(), "bad cell ", cell);
+        const auto &l2g = localToGlobal_[cell];
+        sim::simAssert(local >= 0 &&
+                           static_cast<std::size_t>(local) < l2g.size(),
+                       "bad local id ", local);
+        return l2g[static_cast<std::size_t>(local)];
+    }
+
+    /** Global ids owned by @p cell, ascending. */
+    const std::vector<ServerId> &
+    members(std::size_t cell) const
+    {
+        sim::simAssert(cell < members_.size(), "bad cell ", cell);
+        return members_[cell];
+    }
+
+    /** Servers currently owned by @p cell. */
+    std::size_t size(std::size_t cell) const
+    {
+        return members(cell).size();
+    }
+
+    /**
+     * Re-home @p global to @p to_cell under the local id @p new_local the
+     * receiving cell assigned. The donor's old local slot becomes a
+     * retired tombstone (globalId() returns kNoServer for it).
+     */
+    void
+    migrate(ServerId global, std::size_t to_cell, ServerId new_local)
+    {
+        checkGlobal(global);
+        sim::simAssert(to_cell < members_.size(), "bad cell ", to_cell);
+        auto g = static_cast<std::size_t>(global);
+        std::size_t from = cellOf_[g];
+        sim::simAssert(from != to_cell, "migrate to the owning cell");
+        // Validate the append before touching anything so a rejected
+        // migrate leaves the map untouched.
+        sim::simAssert(static_cast<std::size_t>(new_local) ==
+                           localToGlobal_[to_cell].size(),
+                       "adopted local id must append");
+
+        // Unfile from the donor: tombstone the local slot, drop the
+        // (sorted) member entry.
+        localToGlobal_[from][static_cast<std::size_t>(localOf_[g])] =
+            kNoServer;
+        auto &src = members_[from];
+        auto it = std::lower_bound(src.begin(), src.end(), global);
+        sim::simAssert(it != src.end() && *it == global,
+                       "membership lost server ", global);
+        src.erase(it);
+
+        // File under the receiver. The receiving platform appends, so
+        // new_local extends its local id space by exactly one.
+        localToGlobal_[to_cell].push_back(global);
+        auto &dst = members_[to_cell];
+        dst.insert(std::lower_bound(dst.begin(), dst.end(), global),
+                   global);
+        cellOf_[g] = to_cell;
+        localOf_[g] = new_local;
+    }
+
+    /**
+     * Exhaustive invariant check: every global id is owned by exactly
+     * one cell, member lists are sorted and consistent with the O(1)
+     * maps, and tombstones point nowhere. For tests.
+     */
+    bool
+    consistent() const
+    {
+        std::size_t seen = 0;
+        for (std::size_t c = 0; c < members_.size(); ++c) {
+            ServerId prev = kNoServer;
+            for (ServerId g : members_[c]) {
+                if (g <= prev)
+                    return false;
+                prev = g;
+                auto gi = static_cast<std::size_t>(g);
+                if (gi >= cellOf_.size() || cellOf_[gi] != c)
+                    return false;
+                if (globalId(c, localOf_[gi]) != g)
+                    return false;
+                ++seen;
+            }
+        }
+        return seen == cellOf_.size();
+    }
+
+  private:
+    void
+    checkGlobal(ServerId global) const
+    {
+        sim::simAssert(global >= 0 && static_cast<std::size_t>(global) <
+                                          cellOf_.size(),
+                       "bad global server id ", global);
+    }
+
+    std::vector<std::size_t> cellOf_;
+    std::vector<ServerId> localOf_;
+    std::vector<std::vector<ServerId>> members_;
+    std::vector<std::vector<ServerId>> localToGlobal_;
+};
 
 } // namespace infless::cluster
 

@@ -1,0 +1,108 @@
+#include "cluster/cell_rebalancer.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace infless::cluster {
+
+CellRebalancer::CellRebalancer(RebalanceConfig cfg) : cfg_(cfg)
+{
+    sim::simAssert(cfg_.imbalanceLow <= cfg_.imbalanceHigh,
+                   "hysteresis band inverted");
+    sim::simAssert(cfg_.imbalanceHigh >= 1.0,
+                   "imbalanceHigh below 1.0 would always engage");
+}
+
+double
+CellRebalancer::loadOf(const CellLoad &l) const
+{
+    return static_cast<double>(l.eventsDelta) +
+           cfg_.queueWeight * static_cast<double>(l.queueDepth) +
+           cfg_.inFlightWeight * static_cast<double>(l.inFlight);
+}
+
+std::vector<MigrationOrder>
+CellRebalancer::plan(const std::vector<CellLoad> &loads)
+{
+    if (!cfg_.enabled || loads.size() < 2)
+        return {};
+
+    // Per-server load: a cell that is hot *because it is large* is not a
+    // straggler — the signal is load density, not volume.
+    std::vector<double> per_server(loads.size(), 0.0);
+    double sum = 0.0;
+    std::size_t populated = 0;
+    for (std::size_t c = 0; c < loads.size(); ++c) {
+        if (loads[c].servers == 0)
+            continue;
+        per_server[c] =
+            loadOf(loads[c]) / static_cast<double>(loads[c].servers);
+        sum += per_server[c];
+        ++populated;
+    }
+    if (populated < 2)
+        return {};
+    double mean = sum / static_cast<double>(populated);
+    double hottest = 0.0;
+    std::size_t receiver = 0;
+    for (std::size_t c = 0; c < loads.size(); ++c) {
+        if (loads[c].servers > 0 && per_server[c] > hottest) {
+            hottest = per_server[c];
+            receiver = c;
+        }
+    }
+    lastImbalance_ = mean > 0.0 ? hottest / mean : 1.0;
+
+    // Hysteresis: engage only after hotWindows consecutive windows above
+    // imbalanceHigh; once engaged, keep migrating every window until the
+    // ratio drops below imbalanceLow.
+    if (!engaged_) {
+        if (lastImbalance_ >= cfg_.imbalanceHigh) {
+            ++hotStreak_;
+            if (hotStreak_ >= cfg_.hotWindows)
+                engaged_ = true;
+        } else {
+            hotStreak_ = 0;
+        }
+        if (!engaged_)
+            return {};
+    } else if (lastImbalance_ <= cfg_.imbalanceLow) {
+        engaged_ = false;
+        hotStreak_ = 0;
+        return {};
+    }
+
+    // Coldest donors first: ascending load-per-server, ties to the lower
+    // cell index (stable under permutation of equal loads).
+    std::vector<std::size_t> donors;
+    donors.reserve(loads.size());
+    for (std::size_t c = 0; c < loads.size(); ++c) {
+        if (c != receiver && loads[c].servers > cfg_.minCellServers)
+            donors.push_back(c);
+    }
+    std::sort(donors.begin(), donors.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (per_server[a] != per_server[b])
+                      return per_server[a] < per_server[b];
+                  return a < b;
+              });
+
+    std::vector<MigrationOrder> orders;
+    std::size_t budget = cfg_.maxMigrationsPerWindow;
+    for (std::size_t d : donors) {
+        if (budget == 0)
+            break;
+        std::size_t spare = loads[d].servers - cfg_.minCellServers;
+        std::size_t take = std::min(budget, spare);
+        if (take == 0)
+            continue;
+        orders.push_back(MigrationOrder{d, receiver, take});
+        migrationsOrdered_ += take;
+        budget -= take;
+    }
+    return orders;
+}
+
+} // namespace infless::cluster

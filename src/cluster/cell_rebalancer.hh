@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Slow-timescale cell rebalancing: server migration plans at barriers.
+ *
+ * A static cell partition turns the lockstep-window design into a serial
+ * system under skew: every barrier waits for the hottest cell. The
+ * rebalancer watches *deterministic* per-window load signals — events
+ * processed, queue depth, in-flight requests, live instances; never wall
+ * clock, so the plan is identical at every worker-thread count — and,
+ * when one cell's load-per-server runs persistently hot against the
+ * fleet mean, emits bounded migration orders that move spare servers
+ * from the coldest cells into the straggler.
+ *
+ * The rebalancer only *plans* (which cell donates how many servers to
+ * which receiver); picking the concrete servers and executing the
+ * adopt/release hand-off is ShardedPlatform's job at the barrier.
+ */
+
+#ifndef INFLESS_CLUSTER_CELL_REBALANCER_HH
+#define INFLESS_CLUSTER_CELL_REBALANCER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace infless::cluster {
+
+/** Rebalancer tuning. Disabled by default: off must be byte-identical
+ *  to not having the subsystem. */
+struct RebalanceConfig
+{
+    /** Master switch. */
+    bool enabled = false;
+    /**
+     * Engage threshold on the imbalance ratio
+     * max(load/server) / mean(load/server). 1.0 = perfectly balanced.
+     */
+    double imbalanceHigh = 1.5;
+    /** Disengage threshold (hysteresis; must be <= imbalanceHigh). */
+    double imbalanceLow = 1.2;
+    /**
+     * Consecutive hot windows required before the first migration. One
+     * bursty window is noise; a straggler is persistent.
+     */
+    std::size_t hotWindows = 2;
+    /** Migration budget per window (k): bounds barrier work and keeps
+     *  the partition from thrashing. */
+    std::size_t maxMigrationsPerWindow = 4;
+    /** No donor may shrink below this many servers. */
+    std::size_t minCellServers = 1;
+    /** Weight of queued requests in the load signal. */
+    double queueWeight = 4.0;
+    /** Weight of in-flight requests in the load signal. */
+    double inFlightWeight = 2.0;
+};
+
+/** One cell's deterministic load sample for the window just ended. */
+struct CellLoad
+{
+    /** Engine events executed this window (work actually done). */
+    std::uint64_t eventsDelta = 0;
+    /** Requests waiting in batch queues at the barrier (work owed). */
+    std::int64_t queueDepth = 0;
+    /** Admitted-but-unsettled requests at the barrier. */
+    std::int64_t inFlight = 0;
+    /** Live instances at the barrier. */
+    int liveInstances = 0;
+    /** Servers the cell currently owns (non-retired). */
+    std::size_t servers = 0;
+};
+
+/** "Move @p count servers from cell @p from to cell @p to." */
+struct MigrationOrder
+{
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::size_t count = 0;
+
+    bool operator==(const MigrationOrder &o) const = default;
+};
+
+/**
+ * Straggler detector + migration planner with hysteresis.
+ *
+ * plan() is a pure function of the call sequence: no clocks, no
+ * randomness, no hidden inputs beyond the accumulated hot-streak /
+ * engaged state. Feeding it the same window-by-window loads always
+ * yields the same orders.
+ */
+class CellRebalancer
+{
+  public:
+    explicit CellRebalancer(RebalanceConfig cfg);
+
+    /**
+     * Consume one window's per-cell loads and decide migrations.
+     *
+     * Empty result while disabled, while the fleet is balanced, or
+     * while the hot streak is still shorter than hotWindows. Once
+     * engaged, each window emits up to maxMigrationsPerWindow server
+     * moves into the hottest cell, coldest donors first, until the
+     * imbalance falls below imbalanceLow.
+     */
+    std::vector<MigrationOrder> plan(const std::vector<CellLoad> &loads);
+
+    /** Imbalance ratio of the most recent plan() call. */
+    double lastImbalance() const { return lastImbalance_; }
+
+    /** Whether the hysteresis loop is currently engaged. */
+    bool engaged() const { return engaged_; }
+
+    /** Total servers ordered moved over the rebalancer's lifetime. */
+    std::uint64_t migrationsOrdered() const { return migrationsOrdered_; }
+
+    const RebalanceConfig &config() const { return cfg_; }
+
+  private:
+    /** Scalar load of one cell for this window. */
+    double loadOf(const CellLoad &l) const;
+
+    RebalanceConfig cfg_;
+    std::size_t hotStreak_ = 0;
+    bool engaged_ = false;
+    double lastImbalance_ = 1.0;
+    std::uint64_t migrationsOrdered_ = 0;
+};
+
+} // namespace infless::cluster
+
+#endif // INFLESS_CLUSTER_CELL_REBALANCER_HH

@@ -29,8 +29,17 @@ Cluster::capacities() const
     std::vector<Resources> result;
     result.reserve(servers_.size());
     for (const auto &s : servers_)
-        result.push_back(s.capacity());
+        result.push_back(s.isRetired() ? Resources{} : s.capacity());
     return result;
+}
+
+std::size_t
+Cluster::liveServers() const
+{
+    std::size_t live = 0;
+    for (const auto &s : servers_)
+        live += s.isRetired() ? 0 : 1;
+    return live;
 }
 
 Server &
@@ -53,8 +62,10 @@ Resources
 Cluster::totalCapacity() const
 {
     Resources total;
-    for (const auto &s : servers_)
-        total += s.capacity();
+    for (const auto &s : servers_) {
+        if (!s.isRetired())
+            total += s.capacity();
+    }
     return total;
 }
 
@@ -62,8 +73,10 @@ Resources
 Cluster::totalAvailable() const
 {
     Resources total;
-    for (const auto &s : servers_)
-        total += s.available();
+    for (const auto &s : servers_) {
+        if (!s.isRetired())
+            total += s.available();
+    }
     return total;
 }
 
@@ -71,8 +84,10 @@ Resources
 Cluster::totalAllocated() const
 {
     Resources total;
-    for (const auto &s : servers_)
-        total += s.allocated();
+    for (const auto &s : servers_) {
+        if (!s.isRetired())
+            total += s.allocated();
+    }
     return total;
 }
 
@@ -120,6 +135,28 @@ Cluster::release(ServerId id, const Resources &req)
     // re-filed wholesale on recovery.
     if (!s.isDown())
         index_.update(id, before, s.available());
+}
+
+ServerId
+Cluster::addServer(const Resources &capacity)
+{
+    auto id = static_cast<ServerId>(servers_.size());
+    servers_.emplace_back(id, capacity);
+    index_.add(id, servers_.back().available());
+    return id;
+}
+
+Resources
+Cluster::removeServer(ServerId id)
+{
+    Server &s = serverMut(id);
+    sim::simAssert(!s.isRetired(), "server ", id, " already retired");
+    sim::simAssert(!s.isDown(), "cannot release a crashed server ", id);
+    sim::simAssert(s.allocationCount() == 0,
+                   "cannot release a busy server ", id);
+    index_.remove(id, s.available());
+    s.markRetired();
+    return s.capacity();
 }
 
 void

@@ -39,10 +39,15 @@ class Cluster
      */
     explicit Cluster(const std::vector<Resources> &capacities);
 
-    /** Per-server capacities, in server-id order. */
+    /** Per-server capacities, in server-id order. Retired servers report
+     *  zero capacity so scratch clusters built from this vector keep id
+     *  alignment without re-counting departed machines. */
     std::vector<Resources> capacities() const;
 
     std::size_t size() const { return servers_.size(); }
+
+    /** Servers that still belong to this cluster (not retired). */
+    std::size_t liveServers() const;
 
     const Server &server(ServerId id) const;
 
@@ -82,6 +87,28 @@ class Cluster
      *  server: the platform returns crashed instances' resources before
      *  the machine recovers. */
     void release(ServerId id, const Resources &req);
+
+    // Membership (cell rebalancing) -----------------------------------------
+
+    /**
+     * Adopt a machine migrated in from another cell: append a fresh
+     * server of the given capacity and file it into the capacity index.
+     * Ids are append-only, so every existing id stays valid.
+     *
+     * @return The id assigned to the adopted server.
+     */
+    ServerId addServer(const Resources &capacity);
+
+    /**
+     * Release a machine to another cell. The server must be idle (no
+     * allocations), up, and not already retired — migration of busy
+     * servers is the caller's job via drain-then-release. The server
+     * becomes a permanent tombstone: it leaves the capacity index,
+     * reports zero capacity, and canFit() refuses forever.
+     *
+     * @return The capacity the departing machine takes with it.
+     */
+    Resources removeServer(ServerId id);
 
     // Failure state ---------------------------------------------------------
 

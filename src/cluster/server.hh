@@ -63,12 +63,27 @@ class Server
     Resources allocated() const { return capacity_ - available_; }
 
     /** Whether @p req fits in the unallocated remainder (false while the
-     *  server is down: a crashed machine hosts nothing new). */
+     *  server is down or retired: neither hosts anything new). */
     bool
     canFit(const Resources &req) const
     {
-        return !down_ && req.fitsIn(available_);
+        return !down_ && !retired_ && req.fitsIn(available_);
     }
+
+    // Membership state ------------------------------------------------------
+
+    /**
+     * Whether the server left this cluster (migrated to another cell).
+     *
+     * A retired server is a tombstone: its id stays valid so ids never
+     * shift, but it holds no capacity, never files into the capacity
+     * index, and canFit() refuses. Retirement is permanent — the server
+     * now lives, under a new id, in some other Cluster.
+     */
+    bool isRetired() const { return retired_; }
+
+    /** Tombstone the server. Use Cluster::removeServer(), never this. */
+    void markRetired() { retired_ = true; }
 
     // Failure state ---------------------------------------------------------
 
@@ -127,6 +142,7 @@ class Server
     Resources available_;
     int allocationCount_ = 0;
     bool down_ = false;
+    bool retired_ = false;
     /** NaN == "no cached value" (never compares equal to any beta). */
     mutable double weightedBeta_ = std::numeric_limits<double>::quiet_NaN();
     mutable double weightedCache_ = 0.0;

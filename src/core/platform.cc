@@ -1338,6 +1338,8 @@ Platform::auditConservation(std::string *diagnostic) const
 void
 Platform::injectServerCrash(cluster::ServerId id)
 {
+    if (cluster_.server(id).isRetired())
+        return; // migrated away: the new owning cell fields the fault
     if (cluster_.server(id).isDown())
         return; // double crash: already down
     sim::Tick now = sim_.now();
@@ -1361,6 +1363,8 @@ Platform::injectServerCrash(cluster::ServerId id)
 void
 Platform::injectServerRecovery(cluster::ServerId id)
 {
+    if (cluster_.server(id).isRetired())
+        return; // migrated away
     if (!cluster_.server(id).isDown())
         return; // never crashed, or recovered already
     sim::Tick now = sim_.now();
@@ -1379,7 +1383,8 @@ double
 Platform::clusterAvailability() const
 {
     sim::Tick until = std::max(endTime_, sim_.now());
-    if (until <= 0 || cluster_.size() == 0)
+    std::size_t live = cluster_.liveServers();
+    if (until <= 0 || live == 0)
         return 1.0;
     sim::Tick down = serverDownAccum_;
     for (sim::Tick since : serverDownSince_) {
@@ -1387,8 +1392,48 @@ Platform::clusterAvailability() const
             down += until - since;
     }
     double total =
-        static_cast<double>(until) * static_cast<double>(cluster_.size());
+        static_cast<double>(until) * static_cast<double>(live);
     return 1.0 - static_cast<double>(down) / total;
+}
+
+bool
+Platform::serverIdle(cluster::ServerId id) const
+{
+    const cluster::Server &s = cluster_.server(id);
+    return !s.isRetired() && !s.isDown() && s.allocationCount() == 0;
+}
+
+cluster::ServerId
+Platform::adoptServer(const cluster::Resources &capacity)
+{
+    cluster::ServerId id = cluster_.addServer(capacity);
+    serverDownSince_.push_back(sim::kTickNever);
+    total_.recordCellMigration();
+    if (tracer_.enabled())
+        tracer_.clusterEvent(obs::SpanKind::CellMigration, id,
+                             sim_.now());
+    return id;
+}
+
+cluster::Resources
+Platform::releaseServer(cluster::ServerId id)
+{
+    sim::simAssert(serverIdle(id), "released server must be idle: ", id);
+    return cluster_.removeServer(id);
+}
+
+void
+Platform::drainServer(cluster::ServerId id)
+{
+    for (std::size_t idx = 0; idx < instances_.size(); ++idx) {
+        InstanceRuntime &rt = instances_[idx];
+        if (rt.inst.serverId() != id ||
+            rt.inst.state() == cluster::InstanceState::Reaped)
+            continue;
+        rt.draining = true;
+        rt.fastReap = true;
+        armExpiry(idx);
+    }
 }
 
 void

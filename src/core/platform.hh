@@ -309,6 +309,49 @@ class Platform
      */
     double clusterAvailability() const;
 
+    // Cell membership (sharded rebalancing) ---------------------------------
+
+    /**
+     * Whether server @p id could migrate to another cell right now: up,
+     * not retired, and hosting nothing. No allocations implies no live
+     * instances — every instance holds an allocation from launch to
+     * reap — so an idle server owns no queues, no in-flight batches and
+     * no pending per-instance timers.
+     */
+    bool serverIdle(cluster::ServerId id) const;
+
+    /**
+     * Adopt a machine migrated in from another cell: it joins the
+     * cluster, the capacity index, and the availability accounting under
+     * a fresh local id (append-only — existing ids never shift).
+     *
+     * The fault injector's per-server crash substreams cover only the
+     * construction-time fleet; adopted servers receive no *injected*
+     * faults, but scripted injectServerCrash()/Recovery() target them
+     * like any other server.
+     *
+     * @return The local id assigned to the adopted server.
+     */
+    cluster::ServerId adoptServer(const cluster::Resources &capacity);
+
+    /**
+     * Release an idle machine to another cell. The server must satisfy
+     * serverIdle(); it becomes a permanent tombstone here (out of the
+     * capacity index, zero capacity, canFit() refuses) while its
+     * capacity moves to the receiving cell via adoptServer().
+     *
+     * @return The departing machine's capacity.
+     */
+    cluster::Resources releaseServer(cluster::ServerId id);
+
+    /**
+     * Put every live instance on @p id on the reconfiguration drain path
+     * (fast-reap grace timer) so the server empties and can be released
+     * at a later barrier. Queued work is still served or re-routed by
+     * the existing drain machinery — nothing is dropped up front.
+     */
+    void drainServer(cluster::ServerId id);
+
     // Observability ---------------------------------------------------------
 
     /** The request-lifecycle span store (empty unless tracing is on). */

@@ -21,31 +21,36 @@ ShardedPlatform::ShardedPlatform(std::size_t num_servers,
                                  PlatformOptions opts, CellOptions cell_opts)
     : numServers_(num_servers), cellOpts_(cell_opts),
       beta_(opts.scheduler.beta),
-      slices_(cluster::partitionServers(num_servers, cell_opts.cells)),
+      membership_(num_servers, cell_opts.cells),
+      rebalancer_(cell_opts.rebalance),
       workloadRng_(sim::hashCombine(opts.seed, kWorkloadSeedKey))
 {
     sim::simAssert(cellOpts_.windowTicks > 0, "window must be positive");
-    cells_.reserve(slices_.size());
-    for (std::size_t c = 0; c < slices_.size(); ++c) {
+    // partitionServers clamps cells > servers to one server per cell;
+    // everything below sizes off the membership map, not the request.
+    std::size_t cells = membership_.cellCount();
+    cells_.reserve(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
         PlatformOptions cell_opts_c = opts;
         // The single-cell platform keeps the caller's seed untouched so
         // cells=1 reproduces a flat Platform bit for bit.
-        if (slices_.size() > 1)
+        if (cells > 1)
             cell_opts_c.seed =
                 sim::hashCombine(opts.seed, kCellSeedKey + c);
         cells_.push_back(std::make_unique<Platform>(
-            slices_[c].size(), std::move(cell_opts_c)));
+            membership_.size(c), std::move(cell_opts_c)));
     }
     router_ = std::make_unique<cluster::CellRouter>(
-        slices_.size(), sim::hashCombine(opts.seed, kRouterSeedKey));
-    lastDropStat_.assign(slices_.size(), 0);
-    routedTotal_.assign(slices_.size(), 0);
+        cells, sim::hashCombine(opts.seed, kRouterSeedKey));
+    lastDropStat_.assign(cells, 0);
+    routedTotal_.assign(cells, 0);
+    lastEvents_.assign(cells, 0);
     if (!delegated()) {
         std::size_t threads = cellOpts_.threads != 0
                                   ? cellOpts_.threads
                                   : sim::WorkerPool::defaultThreads();
         pool_ = std::make_unique<sim::WorkerPool>(
-            std::min(threads, slices_.size()));
+            std::min(threads, cells));
     }
 }
 
@@ -83,6 +88,16 @@ ShardedPlatform::injectRateSeries(FunctionId fn,
     sim::Rng rng =
         workloadRng_.fork(static_cast<std::uint64_t>(fn) + 0x77);
     injectTrace(fn, workload::ArrivalTrace::fromRateSeries(series, rng));
+}
+
+void
+ShardedPlatform::pinFunction(FunctionId fn, std::size_t cell)
+{
+    if (delegated())
+        return; // one cell: everything is already "pinned"
+    sim::simAssert(cell < cells_.size(), "pin to nonexistent cell ",
+                   cell);
+    pins_[fn] = cell;
 }
 
 void
@@ -132,15 +147,9 @@ ShardedPlatform::scheduleServerRecovery(cluster::ServerId id, sim::Tick at)
 std::pair<std::size_t, cluster::ServerId>
 ShardedPlatform::locate(cluster::ServerId global) const
 {
-    sim::simAssert(global >= 0 &&
-                       static_cast<std::size_t>(global) < numServers_,
-                   "bad global server id ", global);
-    auto g = static_cast<std::size_t>(global);
-    for (std::size_t c = 0; c < slices_.size(); ++c)
-        if (g < slices_[c].end)
-            return {c, static_cast<cluster::ServerId>(g -
-                                                      slices_[c].begin)};
-    return {0, 0}; // unreachable
+    // The membership map tracks migrations, so commands queued against a
+    // global id land in whichever cell owns the server *now*.
+    return {membership_.cellOf(global), membership_.localId(global)};
 }
 
 // ---------------------------------------------------------------------------
@@ -150,9 +159,99 @@ ShardedPlatform::locate(cluster::ServerId global) const
 void
 ShardedPlatform::barrier(sim::Tick window_end, sim::Tick until)
 {
+    // Rebalance first so the digest refresh, fault lookups and routing
+    // all see post-migration ownership. With rebalancing disabled,
+    // applyRebalance returns without touching anything and the barrier
+    // is byte-identical to the static-partition control plane.
+    applyRebalance();
     refreshRouter();
     applyFaultCommands(cursor_);
     routeArrivals(window_end, until);
+}
+
+void
+ShardedPlatform::applyRebalance()
+{
+    if (!cellOpts_.rebalance.enabled)
+        return;
+    // Load signals are deterministic window aggregates — events executed,
+    // queue depth, in-flight, live instances — never wall clock, so the
+    // plan is identical at every worker-thread count.
+    std::vector<cluster::CellLoad> loads(cells_.size());
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        const Platform &p = *cells_[c];
+        std::uint64_t events = p.simulation().events().executed();
+        loads[c].eventsDelta = events - lastEvents_[c];
+        lastEvents_[c] = events;
+        loads[c].queueDepth = p.queuedRequests();
+        loads[c].inFlight = p.inFlightRequests();
+        loads[c].liveInstances = p.liveInstanceCount();
+        loads[c].servers = membership_.size(c);
+    }
+    auto orders = rebalancer_.plan(loads);
+    imbalanceHistory_.push_back(rebalancer_.lastImbalance());
+    std::int64_t applied = 0;
+    for (const auto &order : orders)
+        applied += static_cast<std::int64_t>(applyMigration(order));
+    migrationHistory_.push_back(applied);
+    migrationsTotal_ += applied;
+    if (applied > 0)
+        mergedDirty_ = true;
+}
+
+std::size_t
+ShardedPlatform::applyMigration(const cluster::MigrationOrder &order)
+{
+    Platform &donor = *cells_[order.from];
+    Platform &receiver = *cells_[order.to];
+
+    // Snapshot the donor's members: migrate() edits the list in place.
+    const std::vector<cluster::ServerId> members =
+        membership_.members(order.from);
+
+    // Idle servers move immediately — no allocations means no instances,
+    // queues, in-flight batches or timers, so the hand-off is a pure
+    // capacity transfer. Ascending global id keeps selection
+    // deterministic.
+    std::size_t moved = 0;
+    for (cluster::ServerId g : members) {
+        if (moved == order.count)
+            break;
+        cluster::ServerId local = membership_.localId(g);
+        if (!donor.serverIdle(local))
+            continue;
+        cluster::Resources cap = donor.releaseServer(local);
+        cluster::ServerId new_local = receiver.adoptServer(cap);
+        membership_.migrate(g, order.to, new_local);
+        ++moved;
+    }
+
+    // Shortfall: drain-and-move. Put the first still-busy servers on the
+    // fast-reap drain path now; once empty they qualify as idle donors
+    // at a later barrier (if the imbalance persists).
+    if (moved < order.count) {
+        std::size_t need = order.count - moved;
+        for (cluster::ServerId g : members) {
+            if (need == 0)
+                break;
+            if (membership_.cellOf(g) != order.from)
+                continue; // migrated above
+            cluster::ServerId local = membership_.localId(g);
+            const cluster::Server &s = donor.cluster().server(local);
+            if (s.isDown() || s.isRetired() || s.allocationCount() == 0)
+                continue;
+            donor.drainServer(local);
+            --need;
+        }
+    }
+
+    if (moved > 0) {
+        // Both cells' digests (and the routed-since-refresh correction
+        // counted against them) describe pre-migration capacity.
+        router_->invalidate(order.from);
+        router_->invalidate(order.to);
+    }
+    return moved;
 }
 
 void
@@ -206,8 +305,14 @@ ShardedPlatform::routeArrivals(sim::Tick window_end, sim::Tick until)
     std::vector<std::map<FunctionId, std::vector<sim::Tick>>> routed(
         cells_.size());
     for (const auto &[tick, feed_idx] : window_arrivals) {
-        std::size_t cell = router_->route();
-        routed[cell][pending_[feed_idx].fn].push_back(tick);
+        FunctionId fn = pending_[feed_idx].fn;
+        // Pinned functions bypass the router (and draw no router
+        // randomness): affinity traffic goes where it must, and only
+        // rebalancing can bring capacity to it.
+        auto pin = pins_.find(fn);
+        std::size_t cell =
+            pin != pins_.end() ? pin->second : router_->route();
+        routed[cell][fn].push_back(tick);
         ++routedTotal_[cell];
     }
     for (std::size_t c = 0; c < cells_.size(); ++c)

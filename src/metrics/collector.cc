@@ -156,6 +156,12 @@ RunMetrics::recordLimiterBackoff()
     ++limiterBackoffs_;
 }
 
+void
+RunMetrics::recordCellMigration()
+{
+    ++cellMigrations_;
+}
+
 sim::Tick
 RunMetrics::meanRestoreTicks() const
 {
@@ -289,6 +295,7 @@ RunMetrics::mergeCounters(const RunMetrics &other)
     brownoutExits_ += other.brownoutExits_;
     limiterSheds_ += other.limiterSheds_;
     limiterBackoffs_ += other.limiterBackoffs_;
+    cellMigrations_ += other.cellMigrations_;
     restoreTicksSum_ += other.restoreTicksSum_;
     latency_.merge(other.latency_);
     queueTime_.merge(other.queueTime_);

@@ -114,6 +114,11 @@ class RunMetrics
     /** The adaptive limiter backed its limit off (timeout/drop signal). */
     void recordLimiterBackoff();
 
+    // Sharded control plane -----------------------------------------------
+
+    /** A server migrated between cells at a window barrier. */
+    void recordCellMigration();
+
     // Latency-surface cache (simulation engine) ---------------------------
 
     /** Snapshot the exec-model memo's hit/miss counters (absolute values;
@@ -149,6 +154,7 @@ class RunMetrics
     std::int64_t brownoutExits() const { return brownoutExits_; }
     std::int64_t limiterSheds() const { return limiterSheds_; }
     std::int64_t limiterBackoffs() const { return limiterBackoffs_; }
+    std::int64_t cellMigrations() const { return cellMigrations_; }
     std::uint64_t execCacheHits() const { return execCacheHits_; }
     std::uint64_t execCacheMisses() const { return execCacheMisses_; }
 
@@ -239,6 +245,7 @@ class RunMetrics
     std::int64_t brownoutExits_ = 0;
     std::int64_t limiterSheds_ = 0;
     std::int64_t limiterBackoffs_ = 0;
+    std::int64_t cellMigrations_ = 0;
     sim::Tick restoreTicksSum_ = 0;
     std::uint64_t execCacheHits_ = 0;
     std::uint64_t execCacheMisses_ = 0;

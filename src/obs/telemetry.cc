@@ -161,6 +161,9 @@ TelemetryRegistry::addRunMetrics(const metrics::RunMetrics &m)
     counter("limiter_backoffs_total",
             static_cast<double>(m.limiterBackoffs()),
             "Adaptive-limit multiplicative decreases (timeout/drop)");
+    counter("cell_migrations_total",
+            static_cast<double>(m.cellMigrations()),
+            "Servers migrated between cells at window barriers");
 
     gauge("slo_violation_rate", m.sloViolationRate(),
           "Fraction of requests violating the SLO (drops included)");

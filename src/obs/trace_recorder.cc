@@ -47,6 +47,8 @@ spanKindName(SpanKind kind)
         return "brownout_exit";
       case SpanKind::LimiterShed:
         return "limiter_shed";
+      case SpanKind::CellMigration:
+        return "cell_migration";
     }
     return "?";
 }
@@ -175,7 +177,8 @@ bool
 isClusterEvent(SpanKind kind)
 {
     return kind == SpanKind::ServerCrash ||
-           kind == SpanKind::ServerRecovery;
+           kind == SpanKind::ServerRecovery ||
+           kind == SpanKind::CellMigration;
 }
 
 /** Function-level overload control transitions: process-scoped markers

@@ -53,6 +53,7 @@ enum class SpanKind : std::uint8_t
     BrownoutEnter,   ///< function entered degraded mode (instant)
     BrownoutExit,    ///< function left degraded mode (instant)
     LimiterShed,     ///< adaptive limiter shed the request (instant)
+    CellMigration,   ///< server migrated between cells (cluster instant)
 };
 
 /** Display name of a span kind (trace-event "name" field). */

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the straggler detector / migration planner.
+ */
+
+#include "cluster/cell_rebalancer.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace infless::cluster {
+namespace {
+
+using infless::sim::PanicError;
+
+/** Three 4-server cells; cell 0 runs 10x hotter per server. */
+std::vector<CellLoad>
+skewedLoads()
+{
+    return {CellLoad{4'000, 0, 0, 0, 4}, CellLoad{400, 0, 0, 0, 4},
+            CellLoad{400, 0, 0, 0, 4}};
+}
+
+std::vector<CellLoad>
+balancedLoads()
+{
+    return std::vector<CellLoad>(3, CellLoad{500, 0, 0, 0, 4});
+}
+
+RebalanceConfig
+enabledConfig()
+{
+    RebalanceConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+TEST(CellRebalancer, DisabledIsInert)
+{
+    CellRebalancer r{RebalanceConfig{}};
+    for (int w = 0; w < 5; ++w)
+        EXPECT_TRUE(r.plan(skewedLoads()).empty());
+    EXPECT_FALSE(r.engaged());
+    EXPECT_EQ(r.migrationsOrdered(), 0u);
+    EXPECT_DOUBLE_EQ(r.lastImbalance(), 1.0);
+}
+
+TEST(CellRebalancer, RejectsInvertedHysteresisBand)
+{
+    RebalanceConfig cfg;
+    cfg.imbalanceLow = 2.0;
+    cfg.imbalanceHigh = 1.5;
+    EXPECT_THROW(CellRebalancer{cfg}, PanicError);
+    cfg.imbalanceLow = 0.5;
+    cfg.imbalanceHigh = 0.9;
+    EXPECT_THROW(CellRebalancer{cfg}, PanicError);
+}
+
+TEST(CellRebalancer, BalancedFleetNeverEngages)
+{
+    CellRebalancer r{enabledConfig()};
+    for (int w = 0; w < 10; ++w)
+        EXPECT_TRUE(r.plan(balancedLoads()).empty());
+    EXPECT_FALSE(r.engaged());
+    EXPECT_DOUBLE_EQ(r.lastImbalance(), 1.0);
+}
+
+TEST(CellRebalancer, EngagesOnlyAfterHotWindowsStreak)
+{
+    // Default hotWindows = 2: one hot window is noise.
+    CellRebalancer r{enabledConfig()};
+    EXPECT_TRUE(r.plan(skewedLoads()).empty());
+    EXPECT_FALSE(r.engaged());
+    auto orders = r.plan(skewedLoads());
+    EXPECT_TRUE(r.engaged());
+    ASSERT_FALSE(orders.empty());
+    for (const auto &o : orders)
+        EXPECT_EQ(o.to, 0u); // into the straggler
+    EXPECT_GT(r.lastImbalance(), 1.5);
+}
+
+TEST(CellRebalancer, CoolWindowResetsTheStreak)
+{
+    CellRebalancer r{enabledConfig()};
+    EXPECT_TRUE(r.plan(skewedLoads()).empty());
+    EXPECT_TRUE(r.plan(balancedLoads()).empty()); // streak resets
+    EXPECT_TRUE(r.plan(skewedLoads()).empty());   // streak = 1 again
+    EXPECT_FALSE(r.engaged());
+    EXPECT_FALSE(r.plan(skewedLoads()).empty());
+}
+
+TEST(CellRebalancer, DisengagesBelowLowWatermark)
+{
+    CellRebalancer r{enabledConfig()};
+    r.plan(skewedLoads());
+    r.plan(skewedLoads());
+    ASSERT_TRUE(r.engaged());
+    // Once the fleet evens out past the low watermark, migration stops
+    // and the streak starts over.
+    EXPECT_TRUE(r.plan(balancedLoads()).empty());
+    EXPECT_FALSE(r.engaged());
+    EXPECT_TRUE(r.plan(skewedLoads()).empty()); // needs a fresh streak
+}
+
+TEST(CellRebalancer, RespectsPerWindowBudgetAndDonorFloor)
+{
+    RebalanceConfig cfg = enabledConfig();
+    cfg.maxMigrationsPerWindow = 4;
+    cfg.minCellServers = 2;
+    CellRebalancer r{cfg};
+    r.plan(skewedLoads());
+    auto orders = r.plan(skewedLoads());
+    std::size_t moved = 0;
+    for (const auto &o : orders) {
+        // 4 servers - floor of 2 = at most 2 spare per donor.
+        EXPECT_LE(o.count, 2u);
+        EXPECT_NE(o.from, 0u);
+        moved += o.count;
+    }
+    EXPECT_LE(moved, 4u);
+    EXPECT_EQ(r.migrationsOrdered(), moved);
+}
+
+TEST(CellRebalancer, DonorsAtTheFloorAreSkipped)
+{
+    RebalanceConfig cfg = enabledConfig();
+    cfg.minCellServers = 4; // every cold cell has exactly 4 servers
+    CellRebalancer r{cfg};
+    r.plan(skewedLoads());
+    EXPECT_TRUE(r.plan(skewedLoads()).empty());
+    // The detector still engages; there is just nothing to take.
+    EXPECT_TRUE(r.engaged());
+}
+
+TEST(CellRebalancer, ColdestDonorsDrainFirst)
+{
+    RebalanceConfig cfg = enabledConfig();
+    cfg.maxMigrationsPerWindow = 8;
+    // Cell 2 is colder than cell 1, so it donates first.
+    std::vector<CellLoad> loads = {CellLoad{4'000, 0, 0, 0, 4},
+                                   CellLoad{800, 0, 0, 0, 4},
+                                   CellLoad{400, 0, 0, 0, 4}};
+    CellRebalancer r{cfg};
+    r.plan(loads);
+    auto orders = r.plan(loads);
+    ASSERT_EQ(orders.size(), 2u);
+    EXPECT_EQ(orders[0], (MigrationOrder{2, 0, 3}));
+    EXPECT_EQ(orders[1], (MigrationOrder{1, 0, 3}));
+}
+
+TEST(CellRebalancer, EqualLoadTiesBreakToLowerCellIndex)
+{
+    RebalanceConfig cfg = enabledConfig();
+    cfg.maxMigrationsPerWindow = 8;
+    CellRebalancer r{cfg};
+    r.plan(skewedLoads());
+    auto orders = r.plan(skewedLoads());
+    ASSERT_EQ(orders.size(), 2u);
+    EXPECT_EQ(orders[0], (MigrationOrder{1, 0, 3}));
+    EXPECT_EQ(orders[1], (MigrationOrder{2, 0, 3}));
+}
+
+TEST(CellRebalancer, QueueAndInFlightWeighIntoTheSignal)
+{
+    // Same events everywhere; only queue depth marks the straggler.
+    std::vector<CellLoad> loads = {CellLoad{500, 1'000, 50, 0, 4},
+                                   CellLoad{500, 0, 0, 0, 4},
+                                   CellLoad{500, 0, 0, 0, 4}};
+    CellRebalancer r{enabledConfig()};
+    r.plan(loads);
+    auto orders = r.plan(loads);
+    ASSERT_FALSE(orders.empty());
+    EXPECT_EQ(orders.front().to, 0u);
+}
+
+TEST(CellRebalancer, IdenticalInputSequenceYieldsIdenticalOrders)
+{
+    auto run = [] {
+        CellRebalancer r{enabledConfig()};
+        std::vector<std::vector<MigrationOrder>> all;
+        for (int w = 0; w < 6; ++w)
+            all.push_back(
+                r.plan(w % 3 == 2 ? balancedLoads() : skewedLoads()));
+        return all;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(CellRebalancer, IgnoresEmptyAndDegenerateFleets)
+{
+    CellRebalancer r{enabledConfig()};
+    EXPECT_TRUE(r.plan({}).empty());
+    EXPECT_TRUE(r.plan({CellLoad{9'000, 0, 0, 0, 4}}).empty());
+    // Only one populated cell: nothing to compare against.
+    std::vector<CellLoad> one = {CellLoad{9'000, 0, 0, 0, 4},
+                                 CellLoad{0, 0, 0, 0, 0}};
+    EXPECT_TRUE(r.plan(one).empty());
+    EXPECT_FALSE(r.engaged());
+}
+
+} // namespace
+} // namespace infless::cluster

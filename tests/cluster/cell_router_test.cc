@@ -52,7 +52,17 @@ TEST(CellPartition, SingleCellIsTheWholeFleet)
 TEST(CellPartition, RejectsDegenerateShapes)
 {
     EXPECT_THROW(partitionServers(10, 0), std::invalid_argument);
-    EXPECT_THROW(partitionServers(3, 4), std::invalid_argument);
+    EXPECT_THROW(partitionServers(0, 4), std::invalid_argument);
+}
+
+TEST(CellPartition, MoreCellsThanServersClampsToOnePerServer)
+{
+    auto slices = partitionServers(3, 4);
+    ASSERT_EQ(slices.size(), 3u);
+    for (std::size_t c = 0; c < slices.size(); ++c) {
+        EXPECT_EQ(slices[c].begin, c);
+        EXPECT_EQ(slices[c].size(), 1u);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +167,19 @@ TEST(CellRouter, SaturatedCellsStillRoute)
     router.refresh({CellDigest{0.0, 100, 0}, CellDigest{0.0, 100, 0}});
     for (int i = 0; i < 10; ++i)
         EXPECT_LT(router.route(), 2u);
+}
+
+TEST(CellRouter, InvalidateDropsStaleView)
+{
+    CellRouter router(2, 5);
+    // Cell 0 looks far better, so the epoch counter piles up there.
+    router.refresh({CellDigest{100.0, 0, 0}, CellDigest{1.0, 1'000, 0}});
+    for (int i = 0; i < 50; ++i)
+        router.route();
+    ASSERT_GT(router.routedSinceRefresh(0), 0);
+    router.invalidate(0);
+    EXPECT_EQ(router.routedSinceRefresh(0), 0);
+    EXPECT_THROW(router.invalidate(2), std::invalid_argument);
 }
 
 TEST(CellRouter, RejectsMismatchedRefresh)

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -339,6 +340,240 @@ TEST(ShardedPlatform, AdaptiveLimiterMergesAndStaysByteIdentical)
     auto serial = adaptiveOverloadRun(1);
     EXPECT_EQ(serial, adaptiveOverloadRun(2));
     EXPECT_EQ(serial, adaptiveOverloadRun(4));
+}
+
+// ---------------------------------------------------------------------------
+// Cell rebalancing
+// ---------------------------------------------------------------------------
+
+using infless::cluster::RebalanceConfig;
+
+/** Affinity hotspot the router cannot steer: one function pinned to
+ *  cell 0 at a rate far above the cell's share, plus routed background
+ *  traffic keeping the other cells mildly busy. */
+void
+driveSkewedWorkload(ShardedPlatform &platform)
+{
+    auto hot = platform.deploy(spec("resnet", "ResNet-50"));
+    auto bg = platform.deploy(spec("mobilenet", "MobileNet"));
+    platform.pinFunction(hot, 0);
+    platform.injectTrace(hot, uniformArrivals(120.0, 20 * kTicksPerSec));
+    platform.injectRateSeries(bg, constantRate(20.0, 20 * kTicksPerSec));
+}
+
+std::vector<double>
+skewedRun(std::size_t threads, const RebalanceConfig &rb)
+{
+    PlatformOptions opts;
+    opts.seed = 41;
+    CellOptions cells;
+    cells.cells = 4;
+    cells.threads = threads;
+    cells.rebalance = rb;
+    ShardedPlatform platform(16, opts, cells);
+    driveSkewedWorkload(platform);
+    platform.run(kRunEnd);
+
+    auto fp = fingerprint(platform.totalMetrics(), kRunEnd);
+    fp.push_back(static_cast<double>(platform.cellMigrations()));
+    fp.push_back(static_cast<double>(platform.eventsExecuted()));
+    fp.push_back(static_cast<double>(platform.schedulerDecisions()));
+    for (std::size_t c = 0; c < platform.cellCount(); ++c) {
+        fp.push_back(static_cast<double>(platform.cellServers(c)));
+        fp.push_back(static_cast<double>(platform.routedTo(c)));
+    }
+    for (double i : platform.imbalanceHistory())
+        fp.push_back(i);
+    for (std::int64_t m : platform.migrationHistory())
+        fp.push_back(static_cast<double>(m));
+    return fp;
+}
+
+TEST(ShardedRebalance, OffIsBitIdenticalToStaticPartition)
+{
+    // Off must mean *absent*: carrying non-default thresholds in a
+    // disabled config cannot perturb a single byte of the run.
+    RebalanceConfig off;
+    auto base = skewedRun(1, off);
+    RebalanceConfig off_tuned;
+    off_tuned.imbalanceHigh = 1.01;
+    off_tuned.imbalanceLow = 1.0;
+    off_tuned.hotWindows = 1;
+    off_tuned.maxMigrationsPerWindow = 16;
+    EXPECT_EQ(base, skewedRun(1, off_tuned));
+}
+
+TEST(ShardedRebalance, DisabledRecordsNothing)
+{
+    PlatformOptions opts;
+    opts.seed = 41;
+    CellOptions cells;
+    cells.cells = 4;
+    ShardedPlatform platform(16, opts, cells);
+    driveSkewedWorkload(platform);
+    platform.run(kRunEnd);
+    EXPECT_EQ(platform.cellMigrations(), 0);
+    EXPECT_TRUE(platform.imbalanceHistory().empty());
+    EXPECT_TRUE(platform.migrationHistory().empty());
+    EXPECT_EQ(platform.totalMetrics().cellMigrations(), 0);
+}
+
+TEST(ShardedRebalance, UnreachableThresholdIsInert)
+{
+    // The flat-platform inertness pattern: the subsystem runs (observes
+    // every barrier) but its threshold can never bind, so the event
+    // streams match the disabled run exactly.
+    RebalanceConfig unreachable;
+    unreachable.enabled = true;
+    unreachable.imbalanceHigh = 1e18;
+    unreachable.imbalanceLow = 1e17;
+
+    auto build = [](const RebalanceConfig &rb) {
+        PlatformOptions opts;
+        opts.seed = 41;
+        CellOptions cells;
+        cells.cells = 4;
+        cells.rebalance = rb;
+        auto platform = std::make_unique<ShardedPlatform>(16, opts, cells);
+        driveSkewedWorkload(*platform);
+        platform->run(kRunEnd);
+        return platform;
+    };
+    auto watching = build(unreachable);
+    auto disabled = build(RebalanceConfig{});
+
+    EXPECT_EQ(watching->cellMigrations(), 0);
+    // It *did* observe every barrier (and saw the skew)...
+    EXPECT_FALSE(watching->imbalanceHistory().empty());
+    EXPECT_GT(watching->rebalancer().lastImbalance(), 1.0);
+    // ...without perturbing a byte of the run.
+    EXPECT_EQ(fingerprint(watching->totalMetrics(), kRunEnd),
+              fingerprint(disabled->totalMetrics(), kRunEnd));
+    EXPECT_EQ(watching->eventsExecuted(), disabled->eventsExecuted());
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(watching->routedTo(c), disabled->routedTo(c));
+}
+
+TEST(ShardedRebalance, PinnedHotspotPullsServersIntoTheStraggler)
+{
+    RebalanceConfig rb;
+    rb.enabled = true;
+    PlatformOptions opts;
+    opts.seed = 41;
+    CellOptions cells;
+    cells.cells = 4;
+    cells.rebalance = rb;
+    ShardedPlatform platform(16, opts, cells);
+    driveSkewedWorkload(platform);
+    platform.run(kRunEnd);
+
+    // The hotspot cell grew, the fleet is conserved, and the map is
+    // internally consistent after the whole migration history.
+    EXPECT_GT(platform.cellMigrations(), 0);
+    EXPECT_GT(platform.cellServers(0), 4u);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < platform.cellCount(); ++c) {
+        total += platform.cellServers(c);
+        EXPECT_GE(platform.cellServers(c), 1u); // donor floor
+    }
+    EXPECT_EQ(total, 16u);
+    EXPECT_TRUE(platform.membership().consistent());
+    // Executed moves never exceed ordered ones (drain deferrals), and
+    // the migration counter flows through the merged run metrics.
+    EXPECT_LE(static_cast<std::uint64_t>(platform.cellMigrations()),
+              platform.rebalancer().migrationsOrdered());
+    EXPECT_EQ(platform.totalMetrics().cellMigrations(),
+              platform.cellMigrations());
+    EXPECT_EQ(platform.imbalanceHistory().size(),
+              platform.migrationHistory().size());
+    // Requests stay conserved through adoption/release churn.
+    const RunMetrics &m = platform.totalMetrics();
+    EXPECT_EQ(m.completions() + m.drops() + platform.inFlightRequests(),
+              m.arrivals());
+}
+
+TEST(ShardedRebalance, OnIsByteIdenticalAcrossThreadCounts)
+{
+    RebalanceConfig rb;
+    rb.enabled = true;
+    // PinnedHotspotPullsServersIntoTheStraggler pins that this exact
+    // (seed, workload, config) run migrates, so the identity below is
+    // not vacuous.
+    auto serial = skewedRun(1, rb);
+    EXPECT_EQ(serial, skewedRun(2, rb));
+    EXPECT_EQ(serial, skewedRun(4, rb));
+    EXPECT_EQ(serial, skewedRun(0, rb)); // pool default
+}
+
+TEST(ShardedRebalance, FaultCommandsFollowMigratedServers)
+{
+    RebalanceConfig rb;
+    rb.enabled = true;
+    PlatformOptions opts;
+    opts.seed = 41;
+    CellOptions cells;
+    cells.cells = 4;
+    cells.rebalance = rb;
+    ShardedPlatform platform(16, opts, cells);
+    driveSkewedWorkload(platform);
+    platform.run(15 * kTicksPerSec);
+
+    // Pick a server that started outside cell 0 and migrated in.
+    infless::cluster::ServerId migrated = infless::cluster::kNoServer;
+    for (infless::cluster::ServerId g : platform.membership().members(0)) {
+        if (g >= 4) {
+            migrated = g;
+            break;
+        }
+    }
+    ASSERT_NE(migrated, infless::cluster::kNoServer)
+        << "hotspot run produced no migration by 15s";
+
+    // Crash/recover it by *global* id: the commands must land in the
+    // receiving cell, not the donor slice the id was born in.
+    platform.scheduleServerCrash(migrated, 16 * kTicksPerSec);
+    platform.scheduleServerRecovery(migrated, 20 * kTicksPerSec);
+    platform.run(kRunEnd);
+
+    const RunMetrics &m = platform.totalMetrics();
+    EXPECT_EQ(m.serverCrashes(), 1);
+    EXPECT_EQ(m.serverRecoveries(), 1);
+    EXPECT_EQ(platform.cell(0).totalMetrics().serverCrashes(), 1);
+    std::size_t donor_cell = static_cast<std::size_t>(migrated) / 4;
+    EXPECT_EQ(platform.cell(donor_cell).totalMetrics().serverCrashes(),
+              0);
+    // No server lost or duplicated through migrate + crash + recover.
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < platform.cellCount(); ++c)
+        total += platform.cellServers(c);
+    EXPECT_EQ(total, 16u);
+    EXPECT_TRUE(platform.membership().consistent());
+}
+
+TEST(ShardedRebalance, MigrationsEmitTraceInstants)
+{
+    RebalanceConfig rb;
+    rb.enabled = true;
+    PlatformOptions opts;
+    opts.seed = 41;
+    opts.obs.trace.sampleRate = 1.0;
+    CellOptions cells;
+    cells.cells = 4;
+    cells.rebalance = rb;
+    ShardedPlatform platform(16, opts, cells);
+    driveSkewedWorkload(platform);
+    platform.run(kRunEnd);
+
+    ASSERT_GT(platform.cellMigrations(), 0);
+    std::int64_t instants = 0;
+    for (std::size_t c = 0; c < platform.cellCount(); ++c) {
+        for (const auto &rec : platform.cell(c).tracer().snapshot()) {
+            if (rec.kind == infless::obs::SpanKind::CellMigration)
+                ++instants;
+        }
+    }
+    // One instant per executed move, recorded on the receiving cell.
+    EXPECT_EQ(instants, platform.cellMigrations());
 }
 
 } // namespace
