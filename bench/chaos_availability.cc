@@ -45,6 +45,8 @@ struct SweepPoint
     bool retriesOn = false;
     ScenarioResult result;
     bool consistent = false;
+    /** Burn-rate alert firing edges (the monitor runs observationally). */
+    std::int64_t sloAlerts = 0;
 
     double sloAttainment() const
     {
@@ -77,6 +79,10 @@ optionsFor(const SweepConfig &cfg, double mtbf_sec, bool retries)
     opts.faults.crashHorizon = cfg.duration;
     opts.retry = retries ? faults::RetryPolicy{}
                          : faults::RetryPolicy::none();
+    // Observational SLO health: burn-rate windows over every row (the
+    // monitor schedules no events, so results are unchanged; crash storms
+    // that bleed the budget surface as alert counts per row).
+    opts.obs.slo.enabled = true;
     return opts;
 }
 
@@ -120,6 +126,7 @@ runPoint(const SweepConfig &cfg, SystemKind kind, double mtbf_sec,
     point.result = runScenario(*platform, workloads, cfg.grace);
     point.consistent = point.result.completions + point.result.drops ==
                        point.result.arrivals;
+    point.sloAlerts = platform->sloMonitor().alertsFired();
 
     if (sampler) {
         sampler->stop();
@@ -174,6 +181,7 @@ writeBenchJson(const SweepConfig &cfg,
             << ", \"failovers\": " << r.failovers
             << ", \"lost_batch_requests\": " << r.lostBatchRequests
             << ", \"mean_restore_sec\": " << r.meanRestoreSec
+            << ", \"slo_alerts\": " << p.sloAlerts
             << ", \"truncated\": " << (r.truncated ? "true" : "false")
             << ", \"consistent\": " << (p.consistent ? "true" : "false")
             << "}" << (i + 1 < points.size() ? "," : "") << "\n";

@@ -35,6 +35,8 @@ systemName(SystemKind kind)
 std::unique_ptr<core::Platform>
 makeSystem(SystemKind kind, std::size_t servers, core::PlatformOptions opts)
 {
+    if (flightRecorderEnabled())
+        opts.obs.flight.enabled = true;
     switch (kind) {
       case SystemKind::Infless:
         return std::make_unique<core::Platform>(servers, std::move(opts));
@@ -177,6 +179,8 @@ runScenario(core::Platform &platform,
 
     if (telemetryEnabled())
         writeTelemetryFiles(buildTelemetry(platform, platform.name()));
+    if (platform.flightRecorder().triggered())
+        writeFlightDump(platform.flightRecorder());
     return result;
 }
 
@@ -186,6 +190,26 @@ telemetryEnabled()
     const char *env = std::getenv("INFLESS_TELEMETRY");
     return env != nullptr && env[0] != '\0' &&
            !(env[0] == '0' && env[1] == '\0');
+}
+
+bool
+flightRecorderEnabled()
+{
+    const char *env = std::getenv("INFLESS_FLIGHT_RECORDER");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+void
+writeFlightDump(const obs::FlightRecorder &recorder,
+                const std::string &path)
+{
+    if (!recorder.triggered())
+        return;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::ofstream os(path);
+    recorder.writeChromeTrace(os);
 }
 
 obs::TelemetryRegistry
@@ -215,6 +239,24 @@ buildTelemetry(const core::Platform &platform, const std::string &benchmark)
                     events.deadEntryRatio(),
                     "Fraction of the event heap occupied by cancelled "
                     "entries at run end");
+    // SLO health: always exported so scrapers can rely on the keys; all
+    // zero when the monitor is disabled.
+    const obs::SloMonitor &slo = platform.sloMonitor();
+    telemetry.counter("slo_alerts_total",
+                      static_cast<double>(slo.alertsFired()),
+                      "Burn-rate alert firing edges over the run");
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+    for (std::int32_t fn : slo.functions()) {
+        fast_burn = std::max(fast_burn,
+                             slo.burnRate(fn, obs::AlertKind::FastBurn));
+        slow_burn = std::max(slow_burn,
+                             slo.burnRate(fn, obs::AlertKind::SlowBurn));
+    }
+    telemetry.gauge("slo_burn_rate_fast", fast_burn,
+                    "Worst per-function fast-window burn rate at run end");
+    telemetry.gauge("slo_burn_rate_slow", slow_burn,
+                    "Worst per-function slow-window burn rate at run end");
     return telemetry;
 }
 

@@ -133,6 +133,18 @@ ScenarioResult runScenario(core::Platform &platform,
 /** Whether INFLESS_TELEMETRY=1 (or any non-"0" value) is set. */
 bool telemetryEnabled();
 
+/** Whether INFLESS_FLIGHT_RECORDER=1 (or any non-"0" value) is set;
+ *  makeSystem then arms the always-on flight-recorder span ring. */
+bool flightRecorderEnabled();
+
+/**
+ * Write a triggered flight recorder's frozen dump as Perfetto-loadable
+ * chrome-trace JSON. Serialized across threads like writeTelemetryFiles.
+ * No-op (and no file) when the recorder never triggered.
+ */
+void writeFlightDump(const obs::FlightRecorder &recorder,
+                     const std::string &path = "flight_trace.json");
+
 /**
  * Snapshot a finished platform run into a TelemetryRegistry: run
  * metadata, the RunMetrics counter/gauge/histogram set, controller

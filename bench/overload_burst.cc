@@ -420,14 +420,126 @@ runAdaptiveDemo(const SweepConfig &cfg, double capacity_rps,
         platform->tracer().writeChromeTrace(ofs);
     }
     if (telemetryEnabled()) {
-        // Last telemetry writer of the bench: metrics.prom and
-        // telemetry.json carry the limiter counters and state series.
+        // The limiter state series ride this snapshot; the SLO health
+        // demo overwrites the files afterwards, but the limiter *counter*
+        // names survive (addRunMetrics emits them for every run).
         obs::TelemetryRegistry telemetry =
             buildTelemetry(*platform, "overload_burst_adaptive");
         telemetry.addTimeline(sampler);
         writeTelemetryFiles(telemetry);
     }
     return point;
+}
+
+/**
+ * SLO health demo: the burn-rate monitor plus the always-on flight
+ * recorder on the undersized fixture at the gate multiplier (2x the
+ * calibrated knee — ~8x what two servers serve). The burst head lands
+ * on a cold fleet, the first windows run a violation fraction far over
+ * the 5% budget, and the fast rule must page within its two-window span;
+ * the first firing edge freezes the flight dump, whose instant the bench
+ * gate requires to coincide with the alert. No other defense is armed,
+ * so the SLO alert is the only flight trigger.
+ */
+struct SloDemo
+{
+    SweepPoint point;
+    /** Single-window burn of every closed window, in order (fn 0). */
+    std::vector<double> windowBurn;
+    bool fastFired = false;
+    std::int64_t alertsTotal = 0;
+    sim::Tick alertTick = 0;
+    /** Mean attribution over the firing alert's span (the "why"). */
+    double meanColdMs = 0.0;
+    double meanQueueMs = 0.0;
+    double meanBatchMs = 0.0;
+    double meanExecMs = 0.0;
+    sim::Tick dumpTick = 0;
+    std::size_t dumpSpans = 0;
+    bool dumpCoincides = false;
+};
+
+SloDemo
+runSloHealthDemo(const SweepConfig &cfg, double capacity_rps)
+{
+    core::PlatformOptions opts;
+    opts.obs.slo.enabled = true;
+    opts.obs.slo.windowTicks = sim::kTicksPerSec;
+    opts.obs.slo.errorBudget = 0.05;
+    opts.obs.slo.fast = {8.0, 2};
+    opts.obs.slo.slow = {2.0, 12};
+    opts.obs.flight.enabled = true;
+    auto platform = makeSystem(SystemKind::Infless, kDemoServers,
+                               std::move(opts));
+
+    std::vector<WorkloadSpec> workloads(1);
+    workloads[0].model = cfg.model;
+    workloads[0].slo = cfg.slo;
+    workloads[0].series =
+        burstTrain(cfg, cfg.errorMultiplier, capacity_rps);
+
+    metrics::TimelineSampler sampler(platform->simulation(),
+                                     sim::kTicksPerSec);
+    sampler.track("slo_burn_fast", [&p = *platform] {
+        return p.sloMonitor().burnRate(0, obs::AlertKind::FastBurn);
+    });
+    sampler.track("slo_burn_slow", [&p = *platform] {
+        return p.sloMonitor().burnRate(0, obs::AlertKind::SlowBurn);
+    });
+    sampler.trackCounter("slo_alerts", [&p = *platform] {
+        return static_cast<double>(p.sloMonitor().alertsFired());
+    });
+
+    SloDemo demo;
+    demo.point.defense = Defense::None;
+    demo.point.multiplier = cfg.errorMultiplier;
+    demo.point.result = runScenario(*platform, workloads, cfg.grace);
+    demo.point.consistent =
+        demo.point.result.completions + demo.point.result.drops ==
+        demo.point.result.arrivals;
+    sampler.stop();
+
+    const obs::SloMonitor &slo = platform->sloMonitor();
+    for (const obs::WindowRow &row : slo.closed(0))
+        demo.windowBurn.push_back(row.burn);
+    demo.alertsTotal = slo.alertsFired();
+    for (const obs::SloAlert &alert : slo.alerts()) {
+        if (alert.kind != obs::AlertKind::FastBurn ||
+            alert.edge != obs::AlertEdge::Firing)
+            continue;
+        demo.fastFired = true;
+        demo.alertTick = alert.at;
+        demo.meanColdMs =
+            alert.meanCold / static_cast<double>(sim::kTicksPerMs);
+        demo.meanQueueMs =
+            alert.meanQueue / static_cast<double>(sim::kTicksPerMs);
+        demo.meanBatchMs =
+            alert.meanBatch / static_cast<double>(sim::kTicksPerMs);
+        demo.meanExecMs =
+            alert.meanExec / static_cast<double>(sim::kTicksPerMs);
+        break;
+    }
+    const obs::FlightRecorder &flight = platform->flightRecorder();
+    demo.dumpTick = flight.triggerAt();
+    demo.dumpSpans = flight.dump().size();
+    demo.dumpCoincides =
+        flight.triggered() &&
+        flight.triggerCause() == obs::FlightTrigger::SloFastBurn &&
+        flight.triggerAt() == demo.alertTick;
+    // runScenario already dumped, but this demo runs last precisely so
+    // flight_trace.json is the alert-frozen ring, not an earlier run's.
+    writeFlightDump(flight);
+
+    if (telemetryEnabled()) {
+        // Final telemetry writer of the bench: metrics.prom carries live
+        // burn-rate gauges and the alert counter (every other metric name
+        // still rides along through addRunMetrics).
+        obs::TelemetryRegistry telemetry =
+            buildTelemetry(*platform, "overload_burst_slo");
+        telemetry.addTimeline(sampler);
+        writeTelemetryFiles(telemetry);
+    }
+    return demo;
 }
 
 void
@@ -477,7 +589,8 @@ void
 writeBenchJson(const SweepConfig &cfg, double capacity_rps,
                const std::vector<SweepPoint> &points,
                const SweepPoint &demo, const SweepPoint &adaptive_demo,
-               const GateSummary &gate, const std::string &path)
+               const SloDemo &slo_demo, const GateSummary &gate,
+               const std::string &path)
 {
     std::ofstream out(path);
     out << "{\n"
@@ -501,7 +614,29 @@ writeBenchJson(const SweepConfig &cfg, double capacity_rps,
     writeRow(out, demo, "demo");
     out << ",\n";
     writeRow(out, adaptive_demo, "demo_adaptive");
+    out << ",\n";
+    writeRow(out, slo_demo.point, "demo_slo_health");
     out << "\n  ],\n"
+        << "  \"slo_window_burn\": [";
+    for (std::size_t i = 0; i < slo_demo.windowBurn.size(); ++i)
+        out << (i ? ", " : "") << slo_demo.windowBurn[i];
+    out << "],\n"
+        << "  \"slo_fast_burn_fired\": "
+        << (slo_demo.fastFired ? "true" : "false") << ",\n"
+        << "  \"slo_alerts_total\": " << slo_demo.alertsTotal << ",\n"
+        << "  \"slo_alert_tick\": " << slo_demo.alertTick << ",\n"
+        << "  \"slo_alert_mean_cold_ms\": " << slo_demo.meanColdMs
+        << ",\n"
+        << "  \"slo_alert_mean_queue_ms\": " << slo_demo.meanQueueMs
+        << ",\n"
+        << "  \"slo_alert_mean_batch_ms\": " << slo_demo.meanBatchMs
+        << ",\n"
+        << "  \"slo_alert_mean_exec_ms\": " << slo_demo.meanExecMs
+        << ",\n"
+        << "  \"flight_dump_tick\": " << slo_demo.dumpTick << ",\n"
+        << "  \"flight_dump_spans\": " << slo_demo.dumpSpans << ",\n"
+        << "  \"flight_dump_coincides\": "
+        << (slo_demo.dumpCoincides ? "true" : "false") << ",\n"
         << "  \"goodput_2x_none\": " << gate.none2x << ",\n"
         << "  \"goodput_2x_full\": " << gate.full2x << ",\n"
         << "  \"goodput_2x_static_mispredicted\": " << gate.staticErr
@@ -579,10 +714,12 @@ main(int argc, char **argv)
                             cell.profileError);
         });
 
-    // Timeline/trace demos: serial, after the sweep; the adaptive demo
-    // runs last so its limiter series is the telemetry file's writer.
+    // Timeline/trace demos: serial, after the sweep. The SLO health demo
+    // runs last: its telemetry (live burn rates, alert counter) and its
+    // alert-frozen flight_trace.json are the files' final writers.
     SweepPoint demo = runDemo(cfg, capacity, trace);
     SweepPoint adaptive_demo = runAdaptiveDemo(cfg, capacity, trace);
+    SloDemo slo_demo = runSloHealthDemo(cfg, capacity);
 
     TextTable table({"defense", "load", "profiler", "offered", "goodput",
                      "degraded-goodput", "p99 ms", "viol rate", "sheds",
@@ -600,8 +737,9 @@ main(int argc, char **argv)
                             p.result.limiterSheds),
              p.consistent ? "yes" : "NO"});
     }
-    all_consistent =
-        all_consistent && demo.consistent && adaptive_demo.consistent;
+    all_consistent = all_consistent && demo.consistent &&
+                     adaptive_demo.consistent &&
+                     slo_demo.point.consistent;
     table.print(std::cout);
 
     auto goodput_at = [&points](Defense defense, double mult,
@@ -635,12 +773,27 @@ main(int argc, char **argv)
                                         : "NOT feedback robust")
               << ")\n";
 
-    writeBenchJson(cfg, capacity, points, demo, adaptive_demo, gate,
-                   "BENCH_overload.json");
+    std::cout << "  SLO health demo at " << fmt(cfg.errorMultiplier, 1)
+              << "x knee: fast-burn "
+              << (slo_demo.fastFired ? "fired" : "DID NOT FIRE")
+              << " at t=" << sim::ticksToSec(slo_demo.alertTick)
+              << "s (mean attribution cold "
+              << fmt(slo_demo.meanColdMs, 1) << " ms / queue "
+              << fmt(slo_demo.meanQueueMs, 1) << " ms / batch-wait "
+              << fmt(slo_demo.meanBatchMs, 1) << " ms / exec "
+              << fmt(slo_demo.meanExecMs, 1) << " ms); flight dump "
+              << slo_demo.dumpSpans << " spans, "
+              << (slo_demo.dumpCoincides ? "coincides with the alert"
+                                         : "DOES NOT coincide")
+              << "\n";
+
+    writeBenchJson(cfg, capacity, points, demo, adaptive_demo, slo_demo,
+                   gate, "BENCH_overload.json");
     std::cout << "  (rows written to BENCH_overload.json; shed/breaker "
                  "timeline of the full-stack demo run in "
                  "overload_timeline.csv; limiter state series of the "
-                 "adaptive demo in overload_adaptive_timeline.csv)\n";
+                 "adaptive demo in overload_adaptive_timeline.csv; "
+                 "alert-frozen span ring in flight_trace.json)\n";
 
     if (!all_consistent) {
         std::cerr << "ERROR: request conservation violated "
@@ -652,6 +805,15 @@ main(int argc, char **argv)
                      "under profile error ("
                   << gate.adaptiveErr << " < " << gate.staticErr
                   << " RPS)\n";
+        return 1;
+    }
+    if (!slo_demo.fastFired || slo_demo.dumpSpans == 0 ||
+        !slo_demo.dumpCoincides) {
+        std::cerr << "ERROR: SLO health gate failed (fast-burn fired: "
+                  << (slo_demo.fastFired ? "yes" : "no")
+                  << ", flight dump spans: " << slo_demo.dumpSpans
+                  << ", dump coincides with alert: "
+                  << (slo_demo.dumpCoincides ? "yes" : "no") << ")\n";
         return 1;
     }
     return 0;

@@ -25,6 +25,20 @@ Platform::Platform(cluster::Cluster machines, PlatformOptions opts)
     if (!opts_.keepAlive)
         opts_.keepAlive = coldstart::LsthPolicy::factory();
     tracer_.configure(opts_.obs.trace);
+    flight_.configure(opts_.obs.flight);
+    monitor_.configure(opts_.obs.slo);
+    if (monitor_.enabled()) {
+        // A firing burn-rate alert is a flight trigger: the recorder
+        // freezes the spans that led up to the first incident.
+        monitor_.setAlertCallback([this](const obs::SloAlert &alert) {
+            if (alert.edge != obs::AlertEdge::Firing)
+                return;
+            flight_.trigger(alert.kind == obs::AlertKind::FastBurn
+                                ? obs::FlightTrigger::SloFastBurn
+                                : obs::FlightTrigger::SloSlowBurn,
+                            alert.at);
+        });
+    }
     prof_.setEnabled(opts_.obs.profiling);
     scheduler_.setProfiler(&prof_);
     scalerHandle_ = sim_.every(opts_.scalerPeriod, [this] { scalerTick(); });
@@ -62,7 +76,9 @@ Platform::deploy(const FunctionSpec &spec)
     state.spec.maxBatch = std::min(spec.maxBatch, state.model->maxBatch);
     state.policy = opts_.keepAlive();
     functions_.push_back(std::move(state));
-    return static_cast<FunctionId>(functions_.size() - 1);
+    auto fn = static_cast<FunctionId>(functions_.size() - 1);
+    monitor_.registerFunction(fn, functions_.back().spec.sloTicks);
+    return fn;
 }
 
 ChainId
@@ -199,6 +215,9 @@ Platform::run(sim::Tick until)
 {
     endTime_ = until;
     sim_.runUntil(until);
+    // Close every SLO window the run passed (purely observational: the
+    // monitor schedules no events and draws no randomness).
+    monitor_.advanceTo(until);
     // Surface the memo's effectiveness alongside the run's other
     // aggregates (idempotent: counters are absolute snapshots).
     total_.recordExecCache(execCache_.stats().hits,
@@ -334,10 +353,7 @@ Platform::ingestRequest(FunctionId fn, RequestIndex request)
     f.policy->recordInvocation(now);
     f.lastInvocation = now;
 
-    if (tracer_.wants(request)) {
-        tracer_.record(obs::SpanKind::Arrival, request, fn, -1, -1, now,
-                       0);
-    }
+    emitSpan(obs::SpanKind::Arrival, request, fn, -1, -1, now, 0);
 
     sim::Tick delay = ingressDelay();
     if (delay > 0) {
@@ -467,6 +483,11 @@ Platform::startBatch(std::size_t idx)
         exec_time = faults_->stretchExec(exec_time);
 
     rt.inst.startBatch(now, fill);
+    // Latency attribution: snapshot when the executor became available
+    // to this batch (it last went idle); the gap up to `now` is batch
+    // formation — waiting for fill or the head deadline.
+    rt.batchAvailAt = rt.idleSince == sim::kTickNever ? now : rt.idleSince;
+    rt.idleSince = sim::kTickNever;
     rt.inFlight.assign(batch.begin(), batch.end());
     f.metrics.recordBatch(fill);
     total_.recordBatch(fill);
@@ -504,6 +525,7 @@ Platform::onBatchComplete(std::size_t idx, std::vector<RequestIndex> batch,
 {
     instances_[idx].inst.finishBatch(sim_.now());
     instances_[idx].inFlight.clear();
+    instances_[idx].idleSince = sim_.now();
     for (RequestIndex request : batch)
         completeRequest(idx, request, started, exec_time);
 
@@ -542,10 +564,27 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
         cold = std::min(started, rt.warmAt) - record.arrival;
     sim::Tick queue_time =
         std::max<sim::Tick>(0, started - record.arrival - cold);
+    // Batch-formation wait: the tail of the queue time after both the
+    // request (past its cold wait) and the executor (batchAvailAt) were
+    // ready — time spent waiting for fill or the head deadline. The rest
+    // of queue_time is waiting behind the previous batch. batchWait is a
+    // refinement of queue_time, not a fourth addend.
+    sim::Tick ready = record.arrival + cold;
+    sim::Tick avail =
+        rt.batchAvailAt == sim::kTickNever ? started : rt.batchAvailAt;
+    sim::Tick batch_wait = std::clamp<sim::Tick>(
+        started - std::max(avail, ready), 0, queue_time);
 
-    metrics::LatencyBreakdown parts{cold, queue_time, exec_time};
+    metrics::LatencyBreakdown parts{cold, queue_time, exec_time,
+                                    batch_wait};
     f.metrics.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
     total_.recordCompletion(sim_.now(), parts, f.spec.sloTicks);
+    if (monitor_.enabled()) {
+        monitor_.recordCompletion(record.function, sim_.now(),
+                                  parts.total(), cold,
+                                  queue_time - batch_wait, batch_wait,
+                                  exec_time);
+    }
 
     const overload::OverloadConfig &oc = opts_.overload;
     bool adaptive =
@@ -585,21 +624,23 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
         }
     }
 
-    if (tracer_.wants(request)) {
+    if (tracer_.wants(request) || flight_.enabled()) {
         cluster::ServerId server = rt.inst.serverId();
         cluster::InstanceId instance = rt.inst.id();
         if (cold > 0) {
-            tracer_.record(obs::SpanKind::ColdStart, request,
-                           record.function, server, instance,
-                           record.arrival, cold);
+            emitSpan(obs::SpanKind::ColdStart, request, record.function,
+                     server, instance, record.arrival, cold);
         }
-        tracer_.record(obs::SpanKind::Queue, request, record.function,
-                       server, instance, record.arrival + cold,
-                       queue_time);
-        tracer_.record(obs::SpanKind::Exec, request, record.function,
-                       server, instance, started, exec_time);
-        tracer_.record(obs::SpanKind::Complete, request, record.function,
-                       server, instance, sim_.now(), 0);
+        emitSpan(obs::SpanKind::Queue, request, record.function, server,
+                 instance, record.arrival + cold, queue_time);
+        if (batch_wait > 0) {
+            emitSpan(obs::SpanKind::BatchWait, request, record.function,
+                     server, instance, started - batch_wait, batch_wait);
+        }
+        emitSpan(obs::SpanKind::Exec, request, record.function, server,
+                 instance, started, exec_time);
+        emitSpan(obs::SpanKind::Complete, request, record.function,
+                 server, instance, sim_.now(), 0);
     }
 
     if (record.retried) {
@@ -614,6 +655,7 @@ Platform::completeRequest(std::size_t idx, RequestIndex request,
         record.coldAccum += cold;
         record.queueAccum += queue_time;
         record.execAccum += exec_time;
+        record.batchAccum += batch_wait;
         advanceChain(request, sim_.now());
     }
 }
@@ -638,13 +680,14 @@ Platform::advanceChain(RequestIndex request, sim::Tick now)
         forwarded.coldAccum = record.coldAccum;
         forwarded.queueAccum = record.queueAccum;
         forwarded.execAccum = record.execAccum;
+        forwarded.batchAccum = record.batchAccum;
         requests_.push_back(forwarded);
         ingestRequest(next_fn, next);
         return;
     }
 
     metrics::LatencyBreakdown parts{record.coldAccum, record.queueAccum,
-                                    record.execAccum};
+                                    record.execAccum, record.batchAccum};
     chain.metrics.recordCompletion(now, parts, chain.spec.sloTicks);
 }
 
@@ -656,6 +699,7 @@ Platform::onWarm(std::size_t idx)
         return; // reaped while cold-starting
     rt.inst.becomeWarm(sim_.now());
     rt.warmAt = sim_.now();
+    rt.idleSince = sim_.now();
     tryStartBatch(idx);
     if (rt.inst.state() == cluster::InstanceState::Idle &&
         rt.queue.empty()) {
@@ -942,10 +986,10 @@ Platform::dropRequestInternal(FunctionState &f, RequestIndex request,
             noteBrownoutTransition(record.function, now);
         }
     }
-    if (tracer_.wants(request)) {
-        tracer_.record(obs::SpanKind::Drop, request, record.function, -1,
-                       -1, now, 0);
-    }
+    if (monitor_.enabled())
+        monitor_.recordDrop(record.function, now);
+    emitSpan(obs::SpanKind::Drop, request, record.function, -1, -1, now,
+             0);
     if (record.chain != kNoChain) {
         chains_[static_cast<std::size_t>(record.chain)].metrics.recordDrop(
             now);
@@ -976,8 +1020,7 @@ Platform::failoverRequest(FunctionId fn, RequestIndex request)
     rec.retried = true;
     f.metrics.recordRetry(now);
     total_.recordRetry(now);
-    if (tracer_.wants(request))
-        tracer_.record(obs::SpanKind::Retry, request, fn, -1, -1, now, 0);
+    emitSpan(obs::SpanKind::Retry, request, fn, -1, -1, now, 0);
     // Backoff, then re-enter the ordinary routing path (which may itself
     // trigger a reactive scale-out onto the surviving servers).
     ++f.pendingRetries;
@@ -1163,12 +1206,9 @@ Platform::shedRequest(FunctionState &f, RequestIndex request, sim::Tick now,
         f.brownout.record(now, true);
         noteBrownoutTransition(record.function, now);
     }
-    if (tracer_.wants(request)) {
-        tracer_.record(cause == ShedCause::Limiter
-                           ? obs::SpanKind::LimiterShed
-                           : obs::SpanKind::Shed,
-                       request, record.function, -1, -1, now, 0);
-    }
+    emitSpan(cause == ShedCause::Limiter ? obs::SpanKind::LimiterShed
+                                         : obs::SpanKind::Shed,
+             request, record.function, -1, -1, now, 0);
     dropRequestInternal(f, request, now, false);
 }
 
@@ -1216,6 +1256,38 @@ Platform::tryEvictInto(FunctionId fn, RequestIndex request)
 }
 
 void
+Platform::emitSpan(obs::SpanKind kind, RequestIndex request, FunctionId fn,
+                   std::int32_t server, std::int64_t instance,
+                   sim::Tick start, sim::Tick duration)
+{
+    if (tracer_.wants(request))
+        tracer_.record(kind, request, fn, server, instance, start,
+                       duration);
+    if (flight_.enabled())
+        flight_.record(kind, request, fn, server, instance, start,
+                       duration);
+}
+
+void
+Platform::emitFunctionEvent(obs::SpanKind kind, FunctionId fn, sim::Tick at)
+{
+    if (tracer_.enabled())
+        tracer_.record(kind, -1, fn, -1, -1, at, 0);
+    if (flight_.enabled())
+        flight_.record(kind, -1, fn, -1, -1, at, 0);
+}
+
+void
+Platform::emitClusterEvent(obs::SpanKind kind, std::int32_t server,
+                           sim::Tick at)
+{
+    if (tracer_.enabled())
+        tracer_.clusterEvent(kind, server, at);
+    if (flight_.enabled())
+        flight_.clusterEvent(kind, server, at);
+}
+
+void
 Platform::noteBreakerTransitions(FunctionId fn, sim::Tick now)
 {
     FunctionState &f = functionState(fn);
@@ -1229,15 +1301,17 @@ Platform::noteBreakerTransitions(FunctionId fn, sim::Tick now)
             f.metrics.recordBreakerClose();
             total_.recordBreakerClose();
         }
-        if (tracer_.enabled()) {
-            obs::SpanKind kind =
-                t.to == overload::BreakerState::Open
-                    ? obs::SpanKind::BreakerOpen
-                    : t.to == overload::BreakerState::HalfOpen
-                          ? obs::SpanKind::BreakerHalfOpen
-                          : obs::SpanKind::BreakerClose;
-            tracer_.record(kind, -1, fn, -1, -1, t.at, 0);
-        }
+        obs::SpanKind kind =
+            t.to == overload::BreakerState::Open
+                ? obs::SpanKind::BreakerOpen
+                : t.to == overload::BreakerState::HalfOpen
+                      ? obs::SpanKind::BreakerHalfOpen
+                      : obs::SpanKind::BreakerClose;
+        emitFunctionEvent(kind, fn, t.at);
+        // An opening breaker is an anomaly: freeze the flight dump
+        // (after the transition span so the dump contains it).
+        if (t.to == overload::BreakerState::Open)
+            flight_.trigger(obs::FlightTrigger::BreakerOpen, t.at);
     }
     f.breakerTransitionsSeen = log.size();
     (void)now;
@@ -1258,11 +1332,9 @@ Platform::noteBrownoutTransition(FunctionId fn, sim::Tick now)
         f.metrics.recordBrownoutExit();
         total_.recordBrownoutExit();
     }
-    if (tracer_.enabled()) {
-        tracer_.record(active ? obs::SpanKind::BrownoutEnter
-                              : obs::SpanKind::BrownoutExit,
-                       -1, fn, -1, -1, now, 0);
-    }
+    emitFunctionEvent(active ? obs::SpanKind::BrownoutEnter
+                             : obs::SpanKind::BrownoutExit,
+                      fn, now);
     // Re-aim live queue deadlines at the new effective SLO so the
     // batching slack relaxes (and later restores) without waiting for
     // fleet turnover.
@@ -1346,8 +1418,10 @@ Platform::injectServerCrash(cluster::ServerId id)
     cluster_.setServerDown(id);
     serverDownSince_[static_cast<std::size_t>(id)] = now;
     total_.recordServerCrash(now);
-    if (tracer_.enabled())
-        tracer_.clusterEvent(obs::SpanKind::ServerCrash, id, now);
+    emitClusterEvent(obs::SpanKind::ServerCrash, id, now);
+    // A crash is an anomaly: freeze the flight dump (after the crash
+    // span so the dump contains it).
+    flight_.trigger(obs::FlightTrigger::ServerCrash, now);
 
     std::vector<std::size_t> victims;
     for (std::size_t idx = 0; idx < instances_.size(); ++idx) {
@@ -1369,8 +1443,7 @@ Platform::injectServerRecovery(cluster::ServerId id)
         return; // never crashed, or recovered already
     sim::Tick now = sim_.now();
     cluster_.setServerUp(id);
-    if (tracer_.enabled())
-        tracer_.clusterEvent(obs::SpanKind::ServerRecovery, id, now);
+    emitClusterEvent(obs::SpanKind::ServerRecovery, id, now);
     sim::Tick &since = serverDownSince_[static_cast<std::size_t>(id)];
     if (since != sim::kTickNever) {
         serverDownAccum_ += now - since;
@@ -1409,9 +1482,7 @@ Platform::adoptServer(const cluster::Resources &capacity)
     cluster::ServerId id = cluster_.addServer(capacity);
     serverDownSince_.push_back(sim::kTickNever);
     total_.recordCellMigration();
-    if (tracer_.enabled())
-        tracer_.clusterEvent(obs::SpanKind::CellMigration, id,
-                             sim_.now());
+    emitClusterEvent(obs::SpanKind::CellMigration, id, sim_.now());
     return id;
 }
 
@@ -1531,6 +1602,10 @@ Platform::scalerTick()
     // (inclusive) share separately.
     obs::ProfScope scaler_scope(&prof_, obs::Phase::Autoscaler);
     sim::Tick now = sim_.now();
+    // Pump the SLO monitor so windows close (and alerts fire) on idle
+    // functions too, not only on completion traffic.
+    if (monitor_.enabled())
+        monitor_.advanceTo(now);
     // Rotate the function order each tick so no single function gets a
     // standing first claim on freed resources.
     std::size_t offset =

@@ -360,6 +360,20 @@ class Platform
     /** Controller overhead histograms (empty unless profiling is on). */
     const obs::OverheadProfiler &overheads() const { return prof_; }
 
+    /** Windowed SLO attainment / burn-rate monitor (inert unless
+     *  obs.slo.enabled). */
+    const obs::SloMonitor &sloMonitor() const { return monitor_; }
+
+    /** Anomaly-triggered flight recorder (inert unless
+     *  obs.flight.enabled). */
+    const obs::FlightRecorder &flightRecorder() const { return flight_; }
+
+    /** Manually trip the flight recorder (tests / operators). */
+    void triggerFlightDump(obs::FlightTrigger why)
+    {
+        flight_.trigger(why, sim_.now());
+    }
+
     // Overload control plane ------------------------------------------------
 
     /** Breaker/brownout/budget state of one function. */
@@ -403,6 +417,12 @@ class Platform
         /** Predicted end of the startup phase (admission control's
          *  cold-start remainder; warmAt stays kTickNever until warm). */
         sim::Tick warmExpectedAt = 0;
+        /** When the executor last went idle (warm with no running batch);
+         *  kTickNever while a batch runs. Latency attribution only. */
+        sim::Tick idleSince = sim::kTickNever;
+        /** idleSince snapshot taken when the current batch started: the
+         *  instant the executor became available to that batch. */
+        sim::Tick batchAvailAt = sim::kTickNever;
         sim::EventId timeoutEvent = sim::kNoEvent;
         sim::EventId expiryEvent = sim::kNoEvent;
         std::size_t usageKey = 0;
@@ -593,6 +613,19 @@ class Platform
     /** Evict the oldest queued request fleet-wide to seat @p request;
      *  false when eviction is off or no queue has anything to evict. */
     bool tryEvictInto(FunctionId fn, RequestIndex request);
+    // Observability emit paths ------------------------------------------------
+
+    /** Emit a request-lifecycle span to the sampling tracer (if it wants
+     *  the request) and the flight recorder (always when enabled). */
+    void emitSpan(obs::SpanKind kind, RequestIndex request, FunctionId fn,
+                  std::int32_t server, std::int64_t instance,
+                  sim::Tick start, sim::Tick duration);
+    /** Emit a function-level instant (breaker/brownout transitions). */
+    void emitFunctionEvent(obs::SpanKind kind, FunctionId fn, sim::Tick at);
+    /** Emit a cluster-level instant (crash/recovery/migration). */
+    void emitClusterEvent(obs::SpanKind kind, std::int32_t server,
+                          sim::Tick at);
+
     /** Surface breaker state changes to metrics and the tracer. */
     void noteBreakerTransitions(FunctionId fn, sim::Tick now);
     /** Surface brownout enter/exit and re-aim live queue deadlines. */
@@ -634,6 +667,10 @@ class Platform
     obs::TraceRecorder tracer_;
     /** Wall-clock controller overhead histograms. */
     obs::OverheadProfiler prof_;
+    /** Windowed SLO attainment / burn-rate monitor. */
+    obs::SloMonitor monitor_;
+    /** Anomaly-triggered flight recorder (always-on span ring). */
+    obs::FlightRecorder flight_;
     cluster::InstanceId nextInstanceId_ = 0;
     sim::Tick endTime_ = 0;
     std::shared_ptr<sim::Simulation::Periodic> scalerHandle_;

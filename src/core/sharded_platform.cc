@@ -51,6 +51,8 @@ ShardedPlatform::ShardedPlatform(std::size_t num_servers,
                                   : sim::WorkerPool::defaultThreads();
         pool_ = std::make_unique<sim::WorkerPool>(
             std::min(threads, cells));
+        mergedSlo_.configure(opts.obs.slo);
+        mergedSlo_.setCellCount(cells);
     }
 }
 
@@ -64,6 +66,8 @@ ShardedPlatform::deploy(const FunctionSpec &spec)
         FunctionId other = cells_[c]->deploy(spec);
         sim::simAssert(other == fn, "cells disagree on function id");
     }
+    if (!delegated())
+        mergedSlo_.registerFunction(fn, spec.sloTicks);
     return fn;
 }
 
@@ -115,6 +119,10 @@ ShardedPlatform::run(sim::Tick until)
         pool_->parallelFor(cells_.size(), [this, w_end](std::size_t c) {
             cells_[c]->run(w_end);
         });
+        // Serial in cell order — the same determinism anchor as the
+        // barrier — and after every window (including the last) so the
+        // cluster health view is complete when run() returns.
+        absorbSloHealth();
         cursor_ = w_end;
     } while (cursor_ < until);
     mergedDirty_ = true;
@@ -333,6 +341,15 @@ ShardedPlatform::routeArrivals(sim::Tick window_end, sim::Tick until)
 }
 
 void
+ShardedPlatform::absorbSloHealth()
+{
+    if (!mergedSlo_.enabled())
+        return;
+    for (std::size_t c = 0; c < cells_.size(); ++c)
+        mergedSlo_.absorb(c, cells_[c]->sloMonitor());
+}
+
+void
 ShardedPlatform::applyFaultCommands(sim::Tick barrier_tick)
 {
     std::size_t keep = 0;
@@ -388,6 +405,28 @@ ShardedPlatform::functionMetrics(FunctionId fn) const
     if (mergedDirty_)
         rebuildMerged();
     return mergedFn_[static_cast<std::size_t>(fn)];
+}
+
+const obs::SloHealthCore &
+ShardedPlatform::sloHealth() const
+{
+    if (delegated())
+        return cells_[0]->sloMonitor();
+    return mergedSlo_;
+}
+
+const obs::FlightRecorder &
+ShardedPlatform::flightRecorder() const
+{
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cells_.size(); ++c) {
+        const obs::FlightRecorder &fr = cells_[c]->flightRecorder();
+        const obs::FlightRecorder &cur = cells_[best]->flightRecorder();
+        if (fr.triggered() &&
+            (!cur.triggered() || fr.triggerAt() < cur.triggerAt()))
+            best = c;
+    }
+    return cells_[best]->flightRecorder();
 }
 
 OverloadSnapshot

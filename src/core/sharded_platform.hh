@@ -183,6 +183,21 @@ class ShardedPlatform
     sim::Tick endTime() const { return endTime_; }
     std::size_t functionCount() const { return cells_[0]->functionCount(); }
 
+    /**
+     * Cross-cell SLO health: cluster windows merged serially in cell
+     * order after every lockstep window, so burn rates, alerts and
+     * attribution describe fleet-wide budget and are byte-identical at
+     * every worker-thread count. cells=1 delegates to the flat monitor.
+     */
+    const obs::SloHealthCore &sloHealth() const;
+
+    /**
+     * The flight recorder whose dump best explains the run: the
+     * earliest-triggered cell's (ties to the lowest cell index), or
+     * cell 0's when nothing triggered.
+     */
+    const obs::FlightRecorder &flightRecorder() const;
+
     /** Aggregate metrics over all cells (cells=1: the flat metrics). */
     const metrics::RunMetrics &totalMetrics() const;
 
@@ -250,6 +265,8 @@ class ShardedPlatform
     void refreshRouter();
     void routeArrivals(sim::Tick window_end, sim::Tick until);
     void applyFaultCommands(sim::Tick barrier_tick);
+    /** Serially absorb every cell's newly closed SLO windows. */
+    void absorbSloHealth();
     void rebuildMerged() const;
 
     std::size_t numServers_ = 0;
@@ -279,6 +296,9 @@ class ShardedPlatform
 
     sim::Tick cursor_ = 0;
     sim::Tick endTime_ = 0;
+
+    /** Cluster-level SLO window merge (multi-cell only). */
+    obs::SloHealthMerge mergedSlo_;
 
     /** Lazily rebuilt cross-cell merges (multi-cell only). */
     mutable metrics::RunMetrics merged_;

@@ -89,6 +89,7 @@ struct RequestRecord
     sim::Tick coldAccum = 0;
     sim::Tick queueAccum = 0;
     sim::Tick execAccum = 0;
+    sim::Tick batchAccum = 0;
 
     /** Re-dispatches already consumed after failures (retry budget). */
     int retries = 0;

@@ -19,6 +19,7 @@ RunMetrics::recordCompletion(sim::Tick, const LatencyBreakdown &parts,
     queueTime_.record(parts.queue);
     execTime_.record(parts.exec);
     coldTime_.record(parts.coldStart);
+    batchTime_.record(parts.batchWait);
     if (slo > 0 && parts.total() > slo)
         ++sloViolations_;
 }
@@ -301,6 +302,7 @@ RunMetrics::mergeCounters(const RunMetrics &other)
     queueTime_.merge(other.queueTime_);
     execTime_.merge(other.execTime_);
     coldTime_.merge(other.coldTime_);
+    batchTime_.merge(other.batchTime_);
 }
 
 void

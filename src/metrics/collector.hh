@@ -27,6 +27,9 @@ struct LatencyBreakdown
     sim::Tick coldStart = 0; ///< instance startup the request waited for
     sim::Tick queue = 0;     ///< time waiting in the batch queue
     sim::Tick exec = 0;      ///< batch execution time
+    /** Portion of @ref queue spent blocked behind the instance's running
+     *  batch (the batching tax, a refinement — NOT a fourth addend). */
+    sim::Tick batchWait = 0;
 
     sim::Tick total() const { return coldStart + queue + exec; }
 };
@@ -169,6 +172,7 @@ class RunMetrics
     const LatencyHistogram &queueTime() const { return queueTime_; }
     const LatencyHistogram &execTime() const { return execTime_; }
     const LatencyHistogram &coldTime() const { return coldTime_; }
+    const LatencyHistogram &batchTime() const { return batchTime_; }
 
     /** Mean batch fill (served requests per executed batch). */
     double meanBatchFill() const;
@@ -254,6 +258,7 @@ class RunMetrics
     LatencyHistogram queueTime_;
     LatencyHistogram execTime_;
     LatencyHistogram coldTime_;
+    LatencyHistogram batchTime_;
 
     TimeWeightedMean cpuCores_;
     TimeWeightedMean gpuDevices_;

@@ -95,6 +95,12 @@ LatencyHistogram::fractionAbove(sim::Tick threshold) const
 void
 LatencyHistogram::merge(const LatencyHistogram &other)
 {
+    // Equal bucket counts alone are not enough: different (growth, max)
+    // pairs can coincidentally size identically yet bin differently.
+    sim::simAssert(growth_ == other.growth_,
+                   "merging histograms with mismatched growth factors");
+    sim::simAssert(maxValue_ == other.maxValue_,
+                   "merging histograms with mismatched max values");
     sim::simAssert(buckets_.size() == other.buckets_.size(),
                    "merging incompatible histograms");
     for (std::size_t bucket = 0; bucket < buckets_.size(); ++bucket)

@@ -49,6 +49,26 @@ class LatencyHistogram
     /** Merge another histogram with identical parameters. */
     void merge(const LatencyHistogram &other);
 
+    // Raw bucket access (Prometheus-native histogram export) --------------
+
+    /** Sum of all recorded samples (after clamping). */
+    double sum() const { return sum_; }
+
+    /** Number of buckets (the last one is the overflow bucket). */
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+    /** Samples recorded into bucket @p bucket. */
+    std::int64_t bucketSamples(std::size_t bucket) const
+    {
+        return buckets_[bucket];
+    }
+
+    /** Inclusive upper bound of bucket @p bucket (its `le` edge). */
+    sim::Tick bucketUpperBound(std::size_t bucket) const
+    {
+        return bucketUpperEdge(bucket);
+    }
+
   private:
     std::size_t bucketOf(sim::Tick value) const;
     sim::Tick bucketUpperEdge(std::size_t bucket) const;

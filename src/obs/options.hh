@@ -6,6 +6,7 @@
 #ifndef INFLESS_OBS_OPTIONS_HH
 #define INFLESS_OBS_OPTIONS_HH
 
+#include "obs/slo_monitor.hh"
 #include "obs/trace_recorder.hh"
 
 namespace infless::obs {
@@ -17,6 +18,10 @@ struct ObsOptions
     TraceConfig trace;
     /** Wall-clock profiling of controller decisions. */
     bool profiling = false;
+    /** Windowed SLO attainment / burn-rate monitoring. */
+    SloMonitorConfig slo;
+    /** Anomaly-triggered flight recorder (always-on span ring). */
+    FlightConfig flight;
 };
 
 } // namespace infless::obs

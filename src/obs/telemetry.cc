@@ -92,6 +92,19 @@ TelemetryRegistry::latencyHistogram(const std::string &name,
     h.p99 = ticksToMsD(hist.percentile(99.0));
     h.min = ticksToMsD(hist.min());
     h.max = ticksToMsD(hist.max());
+    // Native bucket data: cumulative counts at the log-bucket upper
+    // edges, skipping empty buckets to keep the exposition compact (the
+    // cumulative counts are unaffected — Prometheus interpolates).
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.bucketCount(); ++b) {
+        std::int64_t samples = hist.bucketSamples(b);
+        if (samples == 0)
+            continue;
+        cumulative += static_cast<std::uint64_t>(samples);
+        h.bucketLe.push_back(ticksToMsD(hist.bucketUpperBound(b)));
+        h.bucketCumulative.push_back(cumulative);
+    }
+    h.sum = finite(hist.sum() / static_cast<double>(sim::kTicksPerMs));
     histograms_.push_back(std::move(h));
 }
 
@@ -186,6 +199,8 @@ TelemetryRegistry::addRunMetrics(const metrics::RunMetrics &m)
     latencyHistogram("exec_ms", m.execTime(), "Batch execution time");
     latencyHistogram("cold_ms", m.coldTime(),
                      "Cold-start time requests waited through");
+    latencyHistogram("batch_ms", m.batchTime(),
+                     "Batch-formation wait inside the queue time");
 }
 
 void
@@ -337,6 +352,21 @@ TelemetryRegistry::writePrometheus(std::ostream &os) const
         os << base << "_p99 " << h.p99 << "\n";
         os << base << "_min " << h.min << "\n";
         os << base << "_max " << h.max << "\n";
+        if (h.bucketLe.empty())
+            continue;
+        // Native histogram exposition alongside the summary: cumulative
+        // `le` buckets (ms) Prometheus can histogram_quantile() over.
+        std::string native = base + "_hist";
+        if (!h.help.empty())
+            os << "# HELP " << native << " " << h.help << " (" << h.unit
+               << ", native buckets)\n";
+        os << "# TYPE " << native << " histogram\n";
+        for (std::size_t b = 0; b < h.bucketLe.size(); ++b)
+            os << native << "_bucket{le=\"" << h.bucketLe[b] << "\"} "
+               << h.bucketCumulative[b] << "\n";
+        os << native << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << native << "_sum " << h.sum << "\n";
+        os << native << "_count " << h.count << "\n";
     }
 }
 

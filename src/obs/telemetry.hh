@@ -102,6 +102,11 @@ class TelemetryRegistry
         double p99 = 0.0;
         double min = 0.0;
         double max = 0.0;
+        /** Native-histogram bucket data (latencyHistogram only):
+         *  cumulative counts at ascending `le` upper bounds (ms). */
+        std::vector<double> bucketLe;
+        std::vector<std::uint64_t> bucketCumulative;
+        double sum = 0.0;
     };
 
     struct Series

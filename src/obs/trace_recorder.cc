@@ -49,6 +49,30 @@ spanKindName(SpanKind kind)
         return "limiter_shed";
       case SpanKind::CellMigration:
         return "cell_migration";
+      case SpanKind::BatchWait:
+        return "batch_wait";
+      case SpanKind::FlightDump:
+        return "flight_dump";
+    }
+    return "?";
+}
+
+const char *
+flightTriggerName(FlightTrigger trigger)
+{
+    switch (trigger) {
+      case FlightTrigger::None:
+        return "none";
+      case FlightTrigger::SloFastBurn:
+        return "slo_fast_burn";
+      case FlightTrigger::SloSlowBurn:
+        return "slo_slow_burn";
+      case FlightTrigger::BreakerOpen:
+        return "breaker_open";
+      case FlightTrigger::ServerCrash:
+        return "server_crash";
+      case FlightTrigger::Manual:
+        return "manual";
     }
     return "?";
 }
@@ -167,6 +191,7 @@ isInstant(SpanKind kind)
       case SpanKind::ColdStart:
       case SpanKind::Queue:
       case SpanKind::Exec:
+      case SpanKind::BatchWait:
         return false;
       default:
         return true;
@@ -202,10 +227,8 @@ isOverloadEvent(SpanKind kind)
 } // namespace
 
 void
-TraceRecorder::writeChromeTrace(std::ostream &os) const
+writeChromeTrace(std::ostream &os, const std::vector<SpanRecord> &spans)
 {
-    std::vector<SpanRecord> spans = snapshot();
-
     os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
     bool first = true;
     auto sep = [&] {
@@ -232,6 +255,16 @@ TraceRecorder::writeChromeTrace(std::ostream &os) const
     for (const SpanRecord &rec : spans) {
         sep();
         const char *name = spanKindName(rec.kind);
+        if (rec.kind == SpanKind::FlightDump) {
+            // Dump marker: a process-scoped instant on the gateway track
+            // at the trigger instant, so the incident moment is findable
+            // by name in Perfetto.
+            os << "{\"ph\": \"i\", \"s\": \"p\", \"cat\": \"flight\", "
+               << "\"name\": \"" << name << "\", \"pid\": 1, \"tid\": 0, "
+               << "\"ts\": " << rec.start
+               << ", \"args\": {\"trigger\": " << rec.request << "}}";
+            continue;
+        }
         if (isClusterEvent(rec.kind)) {
             // Process-scoped instant: draws a marker across the server's
             // whole track in Perfetto.
@@ -264,6 +297,53 @@ TraceRecorder::writeChromeTrace(std::ostream &os) const
            << ", \"function\": " << rec.function << "}}";
     }
     os << "\n]\n}\n";
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os) const
+{
+    obs::writeChromeTrace(os, snapshot());
+}
+
+void
+FlightRecorder::configure(const FlightConfig &config)
+{
+    TraceConfig tc;
+    tc.sampleRate = config.enabled ? 1.0 : 0.0;
+    tc.capacity = config.capacity;
+    ring_.configure(tc);
+    trigger_ = FlightTrigger::None;
+    triggerAt_ = 0;
+    triggerCount_ = 0;
+    dump_.clear();
+}
+
+void
+FlightRecorder::trigger(FlightTrigger why, sim::Tick at)
+{
+    if (!ring_.enabled() || why == FlightTrigger::None)
+        return;
+    ++triggerCount_;
+    if (trigger_ != FlightTrigger::None)
+        return; // dump already frozen at the first incident
+    trigger_ = why;
+    triggerAt_ = at;
+    dump_ = ring_.snapshot();
+    SpanRecord marker;
+    marker.kind = SpanKind::FlightDump;
+    marker.start = at;
+    marker.request = static_cast<std::int64_t>(why);
+    dump_.push_back(marker);
+}
+
+void
+FlightRecorder::writeChromeTrace(std::ostream &os) const
+{
+    if (trigger_ != FlightTrigger::None) {
+        obs::writeChromeTrace(os, dump_);
+        return;
+    }
+    obs::writeChromeTrace(os, ring_.snapshot());
 }
 
 } // namespace infless::obs

@@ -54,6 +54,8 @@ enum class SpanKind : std::uint8_t
     BrownoutExit,    ///< function left degraded mode (instant)
     LimiterShed,     ///< adaptive limiter shed the request (instant)
     CellMigration,   ///< server migrated between cells (cluster instant)
+    BatchWait,       ///< waiting for the running batch to drain (span)
+    FlightDump,      ///< flight recorder dumped at this instant (marker)
 };
 
 /** Display name of a span kind (trace-event "name" field). */
@@ -150,6 +152,105 @@ class TraceRecorder
     std::uint64_t threshold_ = 0;
     std::uint64_t overwritten_ = 0;
     std::uint64_t recorded_ = 0;
+};
+
+/** Write arbitrary spans as Chrome trace-event JSON (the exporter behind
+ *  TraceRecorder::writeChromeTrace and the flight recorder's dumps). */
+void writeChromeTrace(std::ostream &os, const std::vector<SpanRecord> &spans);
+
+/** What tripped a flight dump. */
+enum class FlightTrigger : std::uint8_t
+{
+    None,        ///< no dump yet
+    SloFastBurn, ///< fast burn-rate alert fired
+    SloSlowBurn, ///< slow burn-rate alert fired
+    BreakerOpen, ///< a circuit breaker opened
+    ServerCrash, ///< a server crash was injected
+    Manual       ///< explicit trigger (tests / operators)
+};
+
+const char *flightTriggerName(FlightTrigger trigger);
+
+/** Flight-recorder knobs (part of ObsOptions; disabled by default). */
+struct FlightConfig
+{
+    bool enabled = false;
+    /** Ring capacity in span records — the "last N seconds" of evidence.
+     *  At 48 B/record the default holds 16k spans in ~768 KiB. */
+    std::size_t capacity = 1 << 14;
+};
+
+/**
+ * Always-on bounded span ring that freezes a snapshot at the first
+ * anomaly (observability pillar 5).
+ *
+ * Unlike the sampling TraceRecorder, a flight recorder keeps EVERY span
+ * in a small ring: steady-state cost is one ring write per span and zero
+ * allocation, and no up-front sampling guess is needed. When an anomaly
+ * trigger arrives (SLO burn alert, breaker open, server crash) the
+ * current ring is copied into a frozen dump — the seconds leading up to
+ * the incident — and later triggers only bump a counter, so the dump
+ * always shows the FIRST incident, not the last. Like its host recorder
+ * it never touches simulated time: enabling it is bit-identical in every
+ * simulation output.
+ */
+class FlightRecorder
+{
+  public:
+    void configure(const FlightConfig &config);
+    bool enabled() const { return ring_.enabled(); }
+
+    /** Record one span (caller checks enabled()). */
+    void
+    record(SpanKind kind, std::int64_t request, std::int32_t function,
+           std::int32_t server, std::int64_t instance, sim::Tick start,
+           sim::Tick duration)
+    {
+        ring_.record(kind, request, function, server, instance, start,
+                     duration);
+    }
+
+    /** Record a cluster-level instant event. */
+    void
+    clusterEvent(SpanKind kind, std::int32_t server, sim::Tick at)
+    {
+        ring_.clusterEvent(kind, server, at);
+    }
+
+    /** Note an anomaly at @p at; the first call freezes the dump. */
+    void trigger(FlightTrigger why, sim::Tick at);
+
+    /** Whether a dump has been frozen. */
+    bool triggered() const { return trigger_ != FlightTrigger::None; }
+
+    /** First trigger cause (None until triggered). */
+    FlightTrigger triggerCause() const { return trigger_; }
+
+    /** Tick of the first trigger (meaningful once triggered). */
+    sim::Tick triggerAt() const { return triggerAt_; }
+
+    /** Triggers observed in total (including post-freeze ones). */
+    std::uint64_t triggerCount() const { return triggerCount_; }
+
+    /** The frozen dump (empty until triggered), oldest span first; ends
+     *  with a FlightDump marker at the trigger instant. */
+    const std::vector<SpanRecord> &dump() const { return dump_; }
+
+    /** Spans recorded over the recorder's lifetime. */
+    std::uint64_t recorded() const { return ring_.recorded(); }
+
+    /** Write the frozen dump (or, untriggered, the live ring) as Chrome
+     *  trace-event JSON. */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    /** Sampling recorder pinned to rate 1.0: reuses the ring mechanics,
+     *  every span passes the threshold. */
+    TraceRecorder ring_;
+    FlightTrigger trigger_ = FlightTrigger::None;
+    sim::Tick triggerAt_ = 0;
+    std::uint64_t triggerCount_ = 0;
+    std::vector<SpanRecord> dump_;
 };
 
 } // namespace infless::obs

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "core/platform.hh"
 #include "obs/prof_scope.hh"
+#include "obs/slo_monitor.hh"
 #include "obs/trace_recorder.hh"
 #include "workload/generators.hh"
 
@@ -20,7 +22,10 @@ namespace {
 using infless::core::FunctionSpec;
 using infless::core::Platform;
 using infless::core::PlatformOptions;
+using infless::obs::AlertEdge;
+using infless::obs::FlightTrigger;
 using infless::obs::Phase;
+using infless::obs::SloAlert;
 using infless::obs::SpanKind;
 using infless::obs::SpanRecord;
 using infless::sim::kTicksPerMin;
@@ -205,6 +210,117 @@ TEST(PlatformObsTest, ProfilerOffRecordsNothing)
     EXPECT_FALSE(p.overheads().enabled());
     EXPECT_EQ(p.overheads().stats(Phase::Schedule).count, 0u);
     EXPECT_EQ(p.overheads().stats(Phase::Autoscaler).count, 0u);
+}
+
+TEST(PlatformObsTest, SloMonitorAndFlightRecorderAreBitIdentical)
+{
+    // Same doctrine as tracing: the health engine observes completions
+    // and the flight ring records spans, but neither schedules events or
+    // draws randomness, so every simulation output is unchanged.
+    Platform plain(4);
+    runWorkload(plain);
+
+    PlatformOptions opts;
+    opts.obs.slo.enabled = true;
+    opts.obs.flight.enabled = true;
+    Platform watched(4, std::move(opts));
+    runWorkload(watched);
+
+    EXPECT_EQ(metricTuple(plain), metricTuple(watched));
+    EXPECT_GT(watched.sloMonitor().closed(0).size(), 0u);
+    EXPECT_GT(watched.flightRecorder().recorded(), 0u);
+    // And off-by-default means absent: the plain run holds no health
+    // state at all.
+    EXPECT_FALSE(plain.sloMonitor().enabled());
+    EXPECT_TRUE(plain.sloMonitor().functions().empty());
+    EXPECT_FALSE(plain.flightRecorder().enabled());
+}
+
+TEST(PlatformObsTest, SloAttributionMatchesRunMetrics)
+{
+    PlatformOptions opts;
+    opts.obs.slo.enabled = true;
+    Platform p(4, std::move(opts));
+    runWorkload(p);
+
+    const auto &m = p.totalMetrics();
+    std::int64_t completions = 0, violations = 0, drops = 0;
+    double attributed = 0.0;
+    for (const auto &row : p.sloMonitor().closed(0)) {
+        completions += row.completions;
+        violations += row.violations;
+        drops += row.drops;
+        attributed +=
+            row.coldSum + row.queueSum + row.batchSum + row.execSum;
+    }
+    EXPECT_EQ(completions, m.completions());
+    EXPECT_EQ(violations, m.sloViolations());
+    EXPECT_EQ(drops, m.drops());
+    // The four-way split is exhaustive: cold + (queue - batch_wait) +
+    // batch_wait + exec sums to the end-to-end latency mass.
+    EXPECT_NEAR(attributed, m.latency().sum(),
+                1e-6 * std::max(1.0, m.latency().sum()));
+    // The batching tax is a refinement of queue wait, never extra mass.
+    EXPECT_EQ(m.batchTime().count(), m.completions());
+}
+
+TEST(PlatformObsTest, FastBurnAlertFreezesTheFlightDump)
+{
+    PlatformOptions opts;
+    opts.obs.slo.enabled = true;
+    opts.obs.flight.enabled = true;
+    Platform p(1, std::move(opts));
+    auto fn = p.deploy(resnetSpec());
+    // Far beyond one server's capacity: the violation fraction saturates
+    // and the fast rule fires as soon as its 2-window span closes.
+    p.injectTrace(fn, uniformArrivals(4000.0, 6 * kTicksPerSec));
+    p.run(10 * kTicksPerSec);
+
+    const auto &monitor = p.sloMonitor();
+    ASSERT_GT(monitor.alertsFired(), 0);
+    const SloAlert *first = nullptr;
+    for (const SloAlert &alert : monitor.alerts()) {
+        if (alert.edge == AlertEdge::Firing) {
+            first = &alert;
+            break;
+        }
+    }
+    ASSERT_NE(first, nullptr);
+
+    const auto &flight = p.flightRecorder();
+    ASSERT_TRUE(flight.triggered());
+    EXPECT_EQ(flight.triggerCause(), FlightTrigger::SloFastBurn);
+    EXPECT_EQ(flight.triggerAt(), first->at);
+    // The frozen dump ends with the marker at the alert instant: the
+    // evidence is the seconds leading INTO the incident.
+    ASSERT_FALSE(flight.dump().empty());
+    EXPECT_EQ(flight.dump().back().kind, SpanKind::FlightDump);
+    EXPECT_EQ(flight.dump().back().start, first->at);
+}
+
+TEST(PlatformObsTest, ServerCrashTriggersTheFlightDump)
+{
+    PlatformOptions opts;
+    opts.obs.flight.enabled = true;
+    Platform p(4, std::move(opts));
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(50.0, 10 * kTicksPerSec));
+    p.run(5 * kTicksPerSec);
+    p.injectServerCrash(2);
+    p.run(15 * kTicksPerSec);
+
+    const auto &flight = p.flightRecorder();
+    ASSERT_TRUE(flight.triggered());
+    EXPECT_EQ(flight.triggerCause(), FlightTrigger::ServerCrash);
+    EXPECT_EQ(flight.triggerAt(), 5 * kTicksPerSec);
+    // The crash span is emitted before the trigger freezes the dump, so
+    // the incident itself is inside the evidence.
+    bool has_crash = false;
+    for (const SpanRecord &rec : flight.dump()) {
+        if (rec.kind == SpanKind::ServerCrash && rec.server == 2)
+            has_crash = true;
+    }
+    EXPECT_TRUE(has_crash);
 }
 
 } // namespace

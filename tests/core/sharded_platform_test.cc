@@ -15,6 +15,7 @@
 
 #include "core/platform.hh"
 #include "core/sharded_platform.hh"
+#include "obs/slo_monitor.hh"
 #include "workload/generators.hh"
 
 namespace {
@@ -340,6 +341,102 @@ TEST(ShardedPlatform, AdaptiveLimiterMergesAndStaysByteIdentical)
     auto serial = adaptiveOverloadRun(1);
     EXPECT_EQ(serial, adaptiveOverloadRun(2));
     EXPECT_EQ(serial, adaptiveOverloadRun(4));
+}
+
+// ---------------------------------------------------------------------------
+// SLO health merge
+// ---------------------------------------------------------------------------
+
+/** Everything the health engine exposes, flattened for comparison. */
+std::vector<double>
+sloDigest(const infless::obs::SloHealthCore &health)
+{
+    std::vector<double> d;
+    for (std::int32_t fn : health.functions()) {
+        d.push_back(static_cast<double>(fn));
+        d.push_back(static_cast<double>(health.sloOf(fn)));
+        for (const infless::obs::WindowRow &row : health.closed(fn)) {
+            d.push_back(static_cast<double>(row.start));
+            d.push_back(static_cast<double>(row.completions));
+            d.push_back(static_cast<double>(row.violations));
+            d.push_back(static_cast<double>(row.drops));
+            d.push_back(row.coldSum);
+            d.push_back(row.queueSum);
+            d.push_back(row.batchSum);
+            d.push_back(row.execSum);
+            d.push_back(row.burn);
+        }
+    }
+    for (const infless::obs::SloAlert &alert : health.alerts()) {
+        d.push_back(static_cast<double>(alert.function));
+        d.push_back(static_cast<double>(alert.kind));
+        d.push_back(static_cast<double>(alert.edge));
+        d.push_back(static_cast<double>(alert.at));
+        d.push_back(alert.burnRate);
+        d.push_back(alert.meanCold);
+        d.push_back(alert.meanQueue);
+        d.push_back(alert.meanBatch);
+        d.push_back(alert.meanExec);
+    }
+    d.push_back(static_cast<double>(health.alertsFired()));
+    return d;
+}
+
+std::vector<double>
+sloHealthRun(std::size_t threads)
+{
+    PlatformOptions opts;
+    opts.seed = 29;
+    opts.obs.slo.enabled = true;
+    CellOptions cells;
+    cells.cells = 4;
+    cells.threads = threads;
+    ShardedPlatform platform(16, opts, cells);
+    driveWorkload(platform);
+
+    // The merged rows account for every completion and drop the fleet
+    // settled, across all cells together.
+    const RunMetrics &m = platform.totalMetrics();
+    std::int64_t completions = 0, drops = 0;
+    for (std::int32_t fn : platform.sloHealth().functions()) {
+        for (const auto &row : platform.sloHealth().closed(fn)) {
+            completions += row.completions;
+            drops += row.drops;
+        }
+    }
+    EXPECT_EQ(completions, m.completions());
+    EXPECT_EQ(drops, m.drops());
+    EXPECT_FALSE(platform.sloHealth().closed(0).empty());
+    return sloDigest(platform.sloHealth());
+}
+
+TEST(ShardedPlatform, SloHealthByteIdenticalAcrossThreadCounts)
+{
+    auto serial = sloHealthRun(1);
+    EXPECT_EQ(serial, sloHealthRun(2));
+    EXPECT_EQ(serial, sloHealthRun(4));
+    EXPECT_EQ(serial, sloHealthRun(0)); // pool default
+}
+
+TEST(ShardedPlatform, Cells1SloHealthMatchesFlatPlatform)
+{
+    PlatformOptions opts;
+    opts.seed = 7;
+    opts.obs.slo.enabled = true;
+
+    Platform flat(16, opts);
+    driveWorkload(flat);
+
+    CellOptions cells;
+    cells.cells = 1;
+    ShardedPlatform sharded(16, opts, cells);
+    driveWorkload(sharded);
+
+    // cells=1 delegates: the health view IS the flat monitor's, and the
+    // enabled monitor leaves the run itself bit-identical.
+    EXPECT_EQ(sloDigest(flat.sloMonitor()), sloDigest(sharded.sloHealth()));
+    EXPECT_EQ(fingerprint(flat.totalMetrics(), kRunEnd),
+              fingerprint(sharded.totalMetrics(), kRunEnd));
 }
 
 // ---------------------------------------------------------------------------
