@@ -10,7 +10,7 @@ CapacityIndex::rebuild(const std::vector<Server> &servers)
     classes_.clear();
     serverCount_ = 0;
     for (const auto &s : servers) {
-        if (!s.isDown())
+        if (!s.isDown() && !s.isRetired() && !s.isQuarantined())
             insert(s.id(), s.available());
     }
 }
@@ -18,8 +18,24 @@ CapacityIndex::rebuild(const std::vector<Server> &servers)
 void
 CapacityIndex::insert(ServerId id, const Resources &avail)
 {
-    classes_[avail].members.insert(id);
+    ClassEntry &entry = classes_[avail];
+    entry.members.insert(id);
+    if (domainsEnabled())
+        entry.byDomain[domainOf(id)].insert(id);
     ++serverCount_;
+}
+
+void
+CapacityIndex::eraseDomainMember(ClassEntry &entry, ServerId id)
+{
+    if (!domainsEnabled())
+        return;
+    auto bucket = entry.byDomain.find(domainOf(id));
+    sim::simAssert(bucket != entry.byDomain.end() &&
+                       bucket->second.erase(id) == 1,
+                   "domain bucket out of sync for server ", id);
+    if (bucket->second.empty())
+        entry.byDomain.erase(bucket);
 }
 
 void
@@ -30,9 +46,13 @@ CapacityIndex::update(ServerId id, const Resources &before,
     sim::simAssert(it != classes_.end() && it->second.members.count(id),
                    "capacity index out of sync for server ", id);
     it->second.members.erase(id);
+    eraseDomainMember(it->second, id);
     if (it->second.members.empty())
         classes_.erase(it);
-    classes_[after].members.insert(id);
+    ClassEntry &entry = classes_[after];
+    entry.members.insert(id);
+    if (domainsEnabled())
+        entry.byDomain[domainOf(id)].insert(id);
 }
 
 void
@@ -42,9 +62,39 @@ CapacityIndex::remove(ServerId id, const Resources &avail)
     sim::simAssert(it != classes_.end() && it->second.members.count(id),
                    "capacity index out of sync for server ", id);
     it->second.members.erase(id);
+    eraseDomainMember(it->second, id);
     if (it->second.members.empty())
         classes_.erase(it);
     --serverCount_;
+}
+
+void
+CapacityIndex::assignDomain(ServerId id, DomainId rack,
+                            const Resources *filed_avail)
+{
+    sim::simAssert(id >= 0, "bad server id ", id);
+    if (!domainsEnabled()) {
+        // First assignment: backfill every filed member into the
+        // kNoDomain bucket so the bucket partition is complete before
+        // any per-server moves happen.
+        rackOf_.assign(static_cast<std::size_t>(id) + 1, kNoDomain);
+        for (auto &[avail, entry] : classes_)
+            entry.byDomain[kNoDomain] = entry.members;
+    }
+    if (static_cast<std::size_t>(id) >= rackOf_.size())
+        rackOf_.resize(static_cast<std::size_t>(id) + 1, kNoDomain);
+
+    if (filed_avail != nullptr) {
+        auto it = classes_.find(*filed_avail);
+        sim::simAssert(it != classes_.end() &&
+                           it->second.members.count(id),
+                       "capacity index out of sync for server ", id);
+        eraseDomainMember(it->second, id);
+        rackOf_[static_cast<std::size_t>(id)] = rack;
+        it->second.byDomain[rack].insert(id);
+    } else {
+        rackOf_[static_cast<std::size_t>(id)] = rack;
+    }
 }
 
 ServerId
@@ -98,16 +148,35 @@ CapacityIndex::consistentWith(const std::vector<Server> &servers) const
             if (id < 0 || static_cast<std::size_t>(id) >= servers.size())
                 return false;
             const Server &s = servers[static_cast<std::size_t>(id)];
-            if (s.isDown() || s.isRetired() || !(s.available() == avail))
+            if (s.isDown() || s.isRetired() || s.isQuarantined() ||
+                !(s.available() == avail))
                 return false;
             ++filed;
         }
+        // With domains on, the rack buckets must partition the members
+        // and every member must sit in the bucket of its assigned rack.
+        if (domainsEnabled()) {
+            std::size_t bucketed = 0;
+            for (const auto &[rack, members] : entry.byDomain) {
+                if (members.empty())
+                    return false;
+                for (ServerId id : members) {
+                    if (!entry.members.count(id) || domainOf(id) != rack)
+                        return false;
+                    ++bucketed;
+                }
+            }
+            if (bucketed != entry.members.size())
+                return false;
+        } else if (!entry.byDomain.empty()) {
+            return false;
+        }
     }
-    // Down and retired servers are unfiled: classes partition the *up,
-    // still-member* servers only.
+    // Down, retired and quarantined servers are unfiled: classes
+    // partition the *up, still-member, admitted* servers only.
     std::size_t up = 0;
     for (const auto &s : servers)
-        up += (s.isDown() || s.isRetired()) ? 0 : 1;
+        up += (s.isDown() || s.isRetired() || s.isQuarantined()) ? 0 : 1;
     return filed == up && serverCount_ == up;
 }
 

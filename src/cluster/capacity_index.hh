@@ -23,6 +23,7 @@
 
 #include "cluster/resources.hh"
 #include "cluster/server.hh"
+#include "cluster/topology.hh"
 
 namespace infless::cluster {
 
@@ -99,6 +100,58 @@ class CapacityIndex
         }
     }
 
+    // Failure domains -------------------------------------------------------
+
+    /**
+     * Record the rack domain of a server. The first call enables domain
+     * bucketing: from then on every class additionally partitions its
+     * members by rack, and forEachClassDomain() becomes meaningful.
+     * Clusters that never assign a domain pay nothing — the per-class
+     * bucket maps stay empty and forEachClass() is untouched.
+     *
+     * @param filed_avail The server's current availability if it is
+     *        presently filed in the index (so its bucket can move), or
+     *        nullptr if it is unfiled (down/retired/quarantined).
+     */
+    void assignDomain(ServerId id, DomainId rack,
+                      const Resources *filed_avail);
+
+    /** Whether any domain was ever assigned. */
+    bool domainsEnabled() const { return !rackOf_.empty(); }
+
+    /** Rack domain of a server (kNoDomain when unassigned). */
+    DomainId
+    domainOf(ServerId id) const
+    {
+        if (id < 0 || static_cast<std::size_t>(id) >= rackOf_.size())
+            return kNoDomain;
+        return rackOf_[static_cast<std::size_t>(id)];
+    }
+
+    /**
+     * Visit every (class, rack-domain) bucket as
+     * f(avail, weightedAvail, rack, minId, count).
+     *
+     * Buckets iterate in (class key, rack id) order — deterministic.
+     * Servers without an assigned domain appear under kNoDomain. Only
+     * valid once domainsEnabled(); the spread-aware scheduler path is
+     * the sole caller.
+     */
+    template <typename F>
+    void
+    forEachClassDomain(double beta, F &&f) const
+    {
+        for (const auto &[avail, entry] : classes_) {
+            if (entry.cachedBeta != beta) {
+                entry.cachedWeighted = avail.weighted(beta);
+                entry.cachedBeta = beta;
+            }
+            for (const auto &[rack, members] : entry.byDomain)
+                f(avail, entry.cachedWeighted, rack, *members.begin(),
+                  members.size());
+        }
+    }
+
     /**
      * Exhaustive invariant check against the source of truth: classes
      * partition the servers and every member's availability matches its
@@ -124,6 +177,8 @@ class CapacityIndex
     struct ClassEntry
     {
         std::set<ServerId> members;
+        /** Per-rack partition of members; empty unless domainsEnabled(). */
+        std::map<DomainId, std::set<ServerId>> byDomain;
         /** Lazy weighted-availability cache (key never changes). */
         mutable double cachedWeighted = 0.0;
         mutable double cachedBeta =
@@ -132,8 +187,14 @@ class CapacityIndex
 
     void insert(ServerId id, const Resources &avail);
 
+    /** Drop @p id from its domain bucket inside @p entry (no-op when
+     *  domains are disabled). */
+    void eraseDomainMember(ClassEntry &entry, ServerId id);
+
     std::map<Resources, ClassEntry, KeyLess> classes_;
     std::size_t serverCount_ = 0;
+    /** Rack domain per server id; empty == domains disabled. */
+    std::vector<DomainId> rackOf_;
 };
 
 } // namespace infless::cluster

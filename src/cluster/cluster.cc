@@ -131,9 +131,9 @@ Cluster::release(ServerId id, const Resources &req)
     Server &s = serverMut(id);
     Resources before = s.available();
     s.release(req);
-    // Down servers are unfiled from the index; their availability is
-    // re-filed wholesale on recovery.
-    if (!s.isDown())
+    // Down and quarantined servers are unfiled from the index; their
+    // availability is re-filed wholesale when they rejoin the pool.
+    if (filed(s))
         index_.update(id, before, s.available());
 }
 
@@ -154,7 +154,8 @@ Cluster::removeServer(ServerId id)
     sim::simAssert(!s.isDown(), "cannot release a crashed server ", id);
     sim::simAssert(s.allocationCount() == 0,
                    "cannot release a busy server ", id);
-    index_.remove(id, s.available());
+    if (filed(s))
+        index_.remove(id, s.available());
     s.markRetired();
     return s.capacity();
 }
@@ -165,7 +166,8 @@ Cluster::setServerDown(ServerId id)
     Server &s = serverMut(id);
     if (s.isDown())
         return;
-    index_.remove(id, s.available());
+    if (filed(s))
+        index_.remove(id, s.available());
     s.markDown();
 }
 
@@ -176,7 +178,63 @@ Cluster::setServerUp(ServerId id)
     if (!s.isDown())
         return;
     s.markUp();
-    index_.add(id, s.available());
+    // Re-file only if nothing else keeps the server out of the pool: a
+    // quarantined server recovering from a crash stays quarantined.
+    if (filed(s))
+        index_.add(id, s.available());
+}
+
+void
+Cluster::setServerDomain(ServerId id, const FailureDomain &domain)
+{
+    Server &s = serverMut(id);
+    if (domains_.size() < servers_.size())
+        domains_.resize(servers_.size());
+    domains_[static_cast<std::size_t>(id)] = domain;
+    Resources avail = s.available();
+    index_.assignDomain(id, domain.rack, filed(s) ? &avail : nullptr);
+}
+
+FailureDomain
+Cluster::serverDomain(ServerId id) const
+{
+    sim::simAssert(id >= 0 && static_cast<std::size_t>(id) < servers_.size(),
+                   "bad server id ", id);
+    if (static_cast<std::size_t>(id) >= domains_.size())
+        return FailureDomain{};
+    return domains_[static_cast<std::size_t>(id)];
+}
+
+void
+Cluster::quarantineServer(ServerId id)
+{
+    Server &s = serverMut(id);
+    if (s.isQuarantined())
+        return;
+    sim::simAssert(!s.isRetired(), "cannot quarantine retired server ", id);
+    if (filed(s))
+        index_.remove(id, s.available());
+    s.markQuarantined();
+}
+
+void
+Cluster::liftQuarantine(ServerId id)
+{
+    Server &s = serverMut(id);
+    if (!s.isQuarantined())
+        return;
+    s.markAdmitted();
+    if (filed(s))
+        index_.add(id, s.available());
+}
+
+std::size_t
+Cluster::quarantinedServers() const
+{
+    std::size_t n = 0;
+    for (const auto &s : servers_)
+        n += s.isQuarantined() ? 1 : 0;
+    return n;
 }
 
 std::size_t

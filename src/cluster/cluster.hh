@@ -12,6 +12,7 @@
 #include "cluster/capacity_index.hh"
 #include "cluster/resources.hh"
 #include "cluster/server.hh"
+#include "cluster/topology.hh"
 
 namespace infless::cluster {
 
@@ -128,6 +129,44 @@ class Cluster
     /** Number of servers currently down. */
     std::size_t downServers() const;
 
+    // Failure domains -------------------------------------------------------
+
+    /**
+     * Assign the (zone, rack) a server physically lives in. The rack is
+     * forwarded to the capacity index so domain-bucketed placement
+     * queries (forEachClassDomain) see it. Domains are a property of the
+     * *machine*, keyed off its global id by the caller — a server
+     * adopted into another cell keeps its physical rack.
+     */
+    void setServerDomain(ServerId id, const FailureDomain &domain);
+
+    /** Domain of a server (unassigned ⇒ kNoDomain fields). */
+    FailureDomain serverDomain(ServerId id) const;
+
+    // Health state (outlier ejection) ---------------------------------------
+
+    /**
+     * Quarantine a server: it leaves the capacity index, so no placement
+     * probe or scheduler pass selects it, but — unlike a crash — it keeps
+     * serving what it already hosts while the platform drains it.
+     * Orthogonal to the crash state: a quarantined server may crash and
+     * recover without rejoining the pool. Idempotent.
+     */
+    void quarantineServer(ServerId id);
+
+    /** Re-admit a quarantined server to the placement pool. Idempotent. */
+    void liftQuarantine(ServerId id);
+
+    /** Whether the server is currently quarantined. */
+    bool
+    serverQuarantined(ServerId id) const
+    {
+        return server(id).isQuarantined();
+    }
+
+    /** Number of servers currently quarantined. */
+    std::size_t quarantinedServers() const;
+
     /**
      * First-fit probe: the first server that can host @p req.
      *
@@ -149,8 +188,17 @@ class Cluster
   private:
     Server &serverMut(ServerId id);
 
+    /** Whether the server is filed in the capacity index. */
+    static bool
+    filed(const Server &s)
+    {
+        return !s.isDown() && !s.isRetired() && !s.isQuarantined();
+    }
+
     std::vector<Server> servers_;
     CapacityIndex index_;
+    /** Per-server failure domain; empty until the first assignment. */
+    std::vector<FailureDomain> domains_;
 };
 
 } // namespace infless::cluster

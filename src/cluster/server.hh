@@ -63,11 +63,12 @@ class Server
     Resources allocated() const { return capacity_ - available_; }
 
     /** Whether @p req fits in the unallocated remainder (false while the
-     *  server is down or retired: neither hosts anything new). */
+     *  server is down, retired, or quarantined: none hosts anything new). */
     bool
     canFit(const Resources &req) const
     {
-        return !down_ && !retired_ && req.fitsIn(available_);
+        return !down_ && !retired_ && !quarantined_ &&
+               req.fitsIn(available_);
     }
 
     // Membership state ------------------------------------------------------
@@ -97,6 +98,24 @@ class Server
 
     /** Bring the machine back after repair. */
     void markUp() { down_ = false; }
+
+    // Health state ----------------------------------------------------------
+
+    /**
+     * Whether the server is quarantined by the outlier ejector: the
+     * machine is up and still serving whatever it already hosts, but it
+     * left the placement pool, so nothing new lands on it. Orthogonal to
+     * the crash state — a quarantined server can crash and recover
+     * without rejoining the pool.
+     */
+    bool isQuarantined() const { return quarantined_; }
+
+    /** Eject from the placement pool. The owning Cluster keeps the
+     *  capacity index in sync — use Cluster::quarantineServer(). */
+    void markQuarantined() { quarantined_ = true; }
+
+    /** Re-admit after probation. Use Cluster::liftQuarantine(). */
+    void markAdmitted() { quarantined_ = false; }
 
     /**
      * Reserve @p req.
@@ -143,6 +162,7 @@ class Server
     int allocationCount_ = 0;
     bool down_ = false;
     bool retired_ = false;
+    bool quarantined_ = false;
     /** NaN == "no cached value" (never compares equal to any beta). */
     mutable double weightedBeta_ = std::numeric_limits<double>::quiet_NaN();
     mutable double weightedCache_ = 0.0;

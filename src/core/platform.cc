@@ -1,6 +1,7 @@
 #include "core/platform.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -55,12 +56,38 @@ Platform::Platform(cluster::Cluster machines, PlatformOptions opts)
     }
 
     serverDownSince_.assign(cluster_.size(), sim::kTickNever);
+
+    if (opts_.topology.enabled()) {
+        // Flat platform: local ids ARE global ids. ShardedPlatform
+        // re-assigns with true global ids right after construction.
+        for (std::size_t s = 0; s < cluster_.size(); ++s) {
+            auto id = static_cast<cluster::ServerId>(s);
+            cluster_.setServerDomain(id, opts_.topology.domainOf(id));
+        }
+    }
+    if (opts_.faults.grayEnabled()) {
+        grayMult_.resize(cluster_.size(), 1.0);
+        for (std::size_t s = 0; s < cluster_.size(); ++s) {
+            grayMult_[s] = faults::grayExecMultiplier(
+                opts_.faults, opts_.seed,
+                static_cast<cluster::ServerId>(s));
+        }
+    }
+    if (opts_.health.enabled) {
+        health_ = std::make_unique<health::OutlierEjector>(opts_.health);
+        health_->ensureServers(cluster_.size());
+        healthHandle_ =
+            sim_.every(opts_.health.evalPeriod, [this] { healthTick(); });
+    }
     if (opts_.faults.enabled()) {
         faults_ = std::make_unique<faults::FaultInjector>(
-            sim_, opts_.faults, opts_.seed, cluster_.size());
+            sim_, opts_.faults, opts_.seed, cluster_.size(),
+            opts_.topology.zones);
         faults_->start(faults::FaultInjector::Hooks{
             [this](cluster::ServerId id) { injectServerCrash(id); },
-            [this](cluster::ServerId id) { injectServerRecovery(id); }});
+            [this](cluster::ServerId id) { injectServerRecovery(id); },
+            [this](cluster::DomainId zone) { injectDomainOutage(zone); },
+            [this](cluster::DomainId zone) { injectDomainRepair(zone); }});
     }
 }
 
@@ -479,8 +506,21 @@ Platform::startBatch(std::size_t idx)
     int fill = static_cast<int>(batch.size());
     sim::Tick exec_time = execCache_.trueTicks(
         exec_, *f.model, fill, rt.inst.config().resources);
+    // Health scoring judges actual exec against this healthy baseline
+    // for the same model + config, so heterogeneous configs compare
+    // fairly and the gray/straggler surcharge is what stands out.
+    sim::Tick base_exec = exec_time;
+    if (!grayMult_.empty()) {
+        double mult = grayMultiplier(rt.inst.serverId());
+        if (mult != 1.0) {
+            exec_time = static_cast<sim::Tick>(
+                std::llround(static_cast<double>(exec_time) * mult));
+        }
+    }
     if (faults_)
         exec_time = faults_->stretchExec(exec_time);
+    if (health_)
+        health_->recordExec(rt.inst.serverId(), base_exec, exec_time);
 
     rt.inst.startBatch(now, fill);
     // Latency attribution: snapshot when the executor became available
@@ -526,6 +566,8 @@ Platform::onBatchComplete(std::size_t idx, std::vector<RequestIndex> batch,
     instances_[idx].inst.finishBatch(sim_.now());
     instances_[idx].inFlight.clear();
     instances_[idx].idleSince = sim_.now();
+    if (health_)
+        health_->recordSuccess(instances_[idx].inst.serverId());
     for (RequestIndex request : batch)
         completeRequest(idx, request, started, exec_time);
 
@@ -921,6 +963,10 @@ Platform::killInstance(std::size_t idx)
     }
 
     rt.inst.crash(now);
+    // A lost in-flight batch is a serving failure of this server; an
+    // idle instance dying with the machine is not evidence either way.
+    if (health_ && !inflight.empty())
+        health_->recordFailure(rt.inst.serverId());
     cluster_.release(rt.inst.serverId(), rt.inst.config().resources);
     f.allocated -= rt.inst.config().resources;
     std::erase(f.live, idx);
@@ -1469,11 +1515,107 @@ Platform::clusterAvailability() const
     return 1.0 - static_cast<double>(down) / total;
 }
 
+void
+Platform::injectDomainOutage(cluster::DomainId zone)
+{
+    noteDomainOutage(zone, sim_.now());
+    // injectServerCrash is idempotent and skips retired servers itself.
+    for (std::size_t s = 0; s < cluster_.size(); ++s) {
+        auto id = static_cast<cluster::ServerId>(s);
+        if (cluster_.serverDomain(id).zone == zone)
+            injectServerCrash(id);
+    }
+}
+
+void
+Platform::injectDomainRepair(cluster::DomainId zone)
+{
+    noteDomainRepair(zone, sim_.now());
+    for (std::size_t s = 0; s < cluster_.size(); ++s) {
+        auto id = static_cast<cluster::ServerId>(s);
+        if (cluster_.serverDomain(id).zone == zone)
+            injectServerRecovery(id);
+    }
+}
+
+void
+Platform::noteDomainOutage(cluster::DomainId zone, sim::Tick at)
+{
+    total_.recordDomainOutage();
+    // Cluster instants carry a server id; a domain instant carries the
+    // zone id there instead (the kind disambiguates in the trace).
+    emitClusterEvent(obs::SpanKind::DomainOutage, zone, at);
+    // After the span so the frozen dump contains the outage marker.
+    flight_.trigger(obs::FlightTrigger::DomainOutage, at);
+}
+
+void
+Platform::noteDomainRepair(cluster::DomainId zone, sim::Tick at)
+{
+    emitClusterEvent(obs::SpanKind::DomainRepair, zone, at);
+}
+
+void
+Platform::assignServerDomain(cluster::ServerId local_id,
+                             cluster::ServerId global_id)
+{
+    if (!opts_.topology.enabled())
+        return;
+    cluster_.setServerDomain(local_id, opts_.topology.domainOf(global_id));
+}
+
+double
+Platform::grayMultiplier(cluster::ServerId id) const
+{
+    auto i = static_cast<std::size_t>(id);
+    return i < grayMult_.size() ? grayMult_[i] : 1.0;
+}
+
+void
+Platform::setGrayMultiplier(cluster::ServerId id, double mult)
+{
+    auto i = static_cast<std::size_t>(id);
+    if (grayMult_.size() <= i)
+        grayMult_.resize(i + 1, 1.0);
+    grayMult_[i] = mult;
+}
+
+void
+Platform::healthTick()
+{
+    sim::Tick now = sim_.now();
+    auto eligible = [this](cluster::ServerId id) {
+        const cluster::Server &s = cluster_.server(id);
+        return !s.isDown() && !s.isRetired();
+    };
+    health::OutlierEjector::Actions acts =
+        health_->evaluate(now, eligible, cluster_.liveServers());
+    for (cluster::ServerId id : acts.readmit) {
+        cluster_.liftQuarantine(id);
+        total_.recordHealthReadmission();
+        emitClusterEvent(obs::SpanKind::HealthReadmission, id, now);
+    }
+    for (cluster::ServerId id : acts.eject) {
+        cluster_.quarantineServer(id);
+        // Drain-first, like rebalancing donors: what the server hosts
+        // finishes or re-routes; only new placements are refused.
+        drainServer(id);
+        total_.recordHealthEjection();
+        if (grayMultiplier(id) > 1.0) {
+            // Ground-truth check for the detection-quality counter: the
+            // ejector itself never sees this.
+            total_.recordGrayDetection();
+        }
+        emitClusterEvent(obs::SpanKind::HealthEjection, id, now);
+    }
+}
+
 bool
 Platform::serverIdle(cluster::ServerId id) const
 {
     const cluster::Server &s = cluster_.server(id);
-    return !s.isRetired() && !s.isDown() && s.allocationCount() == 0;
+    return !s.isRetired() && !s.isDown() && !s.isQuarantined() &&
+           s.allocationCount() == 0;
 }
 
 cluster::ServerId
@@ -1481,6 +1623,12 @@ Platform::adoptServer(const cluster::Resources &capacity)
 {
     cluster::ServerId id = cluster_.addServer(capacity);
     serverDownSince_.push_back(sim::kTickNever);
+    if (!grayMult_.empty())
+        grayMult_.push_back(1.0); // caller re-derives from the global id
+    if (health_)
+        health_->ensureServers(cluster_.size());
+    if (faults_)
+        faults_->addServer(id);
     total_.recordCellMigration();
     emitClusterEvent(obs::SpanKind::CellMigration, id, sim_.now());
     return id;
@@ -1784,8 +1932,10 @@ Platform::continueReconfigure(FunctionId fn, double measured)
 
     // Launch the next slice into whatever room exists; new instances
     // carry the current generation.
+    SpreadContext spread = spreadContextFor(f);
     auto plans = scheduler_.schedule(*f.model, need, f.spec.sloTicks,
-                                     f.spec.maxBatch, cluster_);
+                                     f.spec.maxBatch, cluster_,
+                                     spreadArg(spread));
     double planned_up = 0.0;
     for (const auto &plan : plans) {
         planned_up += plan.bounds.up;
@@ -1832,8 +1982,32 @@ Platform::planScaleOut(FunctionState &f, double residual_rps)
     // SLO long after brownout exits (instances linger until the next
     // reconfig). Brownout instead relaxes queue max-wait, which the
     // exit path re-aims instantly.
+    SpreadContext spread = spreadContextFor(f);
     return scheduler_.schedule(*f.model, residual_rps, f.spec.sloTicks,
-                               f.spec.maxBatch, cluster_);
+                               f.spec.maxBatch, cluster_,
+                               spreadArg(spread));
+}
+
+SpreadContext
+Platform::spreadContextFor(const FunctionState &f) const
+{
+    SpreadContext ctx;
+    ctx.weight = opts_.scheduler.spreadWeight;
+    if (ctx.weight <= 0.0)
+        return ctx;
+    for (std::size_t idx : f.live) {
+        const InstanceRuntime &rt = instances_[idx];
+        if (rt.draining)
+            continue;
+        ctx.add(cluster_.serverDomain(rt.inst.serverId()));
+    }
+    return ctx;
+}
+
+SpreadContext *
+Platform::spreadArg(SpreadContext &ctx) const
+{
+    return ctx.weight > 0.0 ? &ctx : nullptr;
 }
 
 void

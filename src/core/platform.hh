@@ -35,6 +35,7 @@
 #include "core/types.hh"
 #include "faults/fault_injector.hh"
 #include "faults/retry_policy.hh"
+#include "health/outlier_ejector.hh"
 #include "metrics/collector.hh"
 #include "models/exec_model.hh"
 #include "models/latency_cache.hh"
@@ -108,6 +109,20 @@ struct PlatformOptions
      * the disabled config is bit-identical to not having the subsystem).
      */
     overload::OverloadConfig overload;
+    /**
+     * Failure-domain topology (zone/rack per server; disabled by
+     * default). Assignment is a pure function of the GLOBAL server id,
+     * so a server keeps its domain across cell migrations. Enabling the
+     * topology alone changes no placement — only spreadWeight > 0 or
+     * domain-outage faults consume it.
+     */
+    cluster::TopologyConfig topology;
+    /**
+     * Per-server rolling health scoring + outlier ejection (off by
+     * default; the disabled config schedules nothing and is
+     * bit-identical to not having the subsystem).
+     */
+    health::HealthConfig health;
 };
 
 /** Launch/served tallies of one instance configuration (Fig. 13). */
@@ -309,11 +324,74 @@ class Platform
      */
     double clusterAvailability() const;
 
+    // Failure domains / gray failures ---------------------------------------
+
+    /**
+     * Crash every non-retired server of @p zone at once (a correlated
+     * failure-domain outage): one DomainOutage trace instant + flight
+     * trigger, then the ordinary injectServerCrash path per member.
+     * Usable directly from tests; the seeded domain-outage fault stream
+     * lands here too.
+     */
+    void injectDomainOutage(cluster::DomainId zone);
+
+    /**
+     * Repair @p zone: every member recovers (including members that were
+     * down for an unrelated i.i.d. crash — zone repair heals its whole
+     * blast radius).
+     */
+    void injectDomainRepair(cluster::DomainId zone);
+
+    /**
+     * Account a domain outage (counter + DomainOutage cluster instant at
+     * @p at + flight trigger) WITHOUT crashing anyone. ShardedPlatform
+     * notes the outage on one cell and delivers the member crashes as
+     * per-server fault commands at the barrier.
+     */
+    void noteDomainOutage(cluster::DomainId zone, sim::Tick at);
+
+    /** Account a domain repair (DomainRepair cluster instant at @p at). */
+    void noteDomainRepair(cluster::DomainId zone, sim::Tick at);
+
+    /**
+     * (Re)assign the failure domain of local server @p local_id from a
+     * GLOBAL fleet id. The flat constructor already did this with
+     * local == global; ShardedPlatform re-assigns with true global ids
+     * after construction and after each migration.
+     */
+    void assignServerDomain(cluster::ServerId local_id,
+                            cluster::ServerId global_id);
+
+    /**
+     * Ground-truth gray exec-time multiplier of local server @p id
+     * (1.0 = healthy). Derived from the root seed and the GLOBAL id at
+     * construction; ShardedPlatform overrides per cell.
+     */
+    double grayMultiplier(cluster::ServerId id) const;
+
+    /** Override a server's gray multiplier (sharding / tests). */
+    void setGrayMultiplier(cluster::ServerId id, double mult);
+
+    // Health / outlier ejection ---------------------------------------------
+
+    /** The outlier ejector, or nullptr when health.enabled is false. */
+    const health::OutlierEjector *healthEjector() const
+    {
+        return health_.get();
+    }
+
+    /** Servers currently quarantined by the ejector. */
+    std::size_t quarantinedServers() const
+    {
+        return cluster_.quarantinedServers();
+    }
+
     // Cell membership (sharded rebalancing) ---------------------------------
 
     /**
      * Whether server @p id could migrate to another cell right now: up,
-     * not retired, and hosting nothing. No allocations implies no live
+     * not retired, not quarantined, and hosting nothing. No allocations
+     * implies no live
      * instances — every instance holds an allocation from launch to
      * reap — so an idle server owns no queues, no in-flight batches and
      * no pending per-instance timers.
@@ -322,13 +400,13 @@ class Platform
 
     /**
      * Adopt a machine migrated in from another cell: it joins the
-     * cluster, the capacity index, and the availability accounting under
-     * a fresh local id (append-only — existing ids never shift).
+     * cluster, the capacity index, the availability accounting — and the
+     * fault injector's coverage — under a fresh local id (append-only —
+     * existing ids never shift).
      *
-     * The fault injector's per-server crash substreams cover only the
-     * construction-time fleet; adopted servers receive no *injected*
-     * faults, but scripted injectServerCrash()/Recovery() target them
-     * like any other server.
+     * Each server's crash substream is keyed on its id, so adopting a
+     * server extends injected-fault coverage to it without perturbing
+     * any existing server's fault schedule.
      *
      * @return The local id assigned to the adopted server.
      */
@@ -554,6 +632,9 @@ class Platform
                          sim::Tick started, sim::Tick exec_time);
     void onWarm(std::size_t idx);
     void scalerTick();
+    /** Periodic outlier-ejector evaluation: eject (quarantine + drain)
+     *  and re-admit per its deterministic decisions. */
+    void healthTick();
     void maybeReconfigure(FunctionId fn, double measured);
     void continueReconfigure(FunctionId fn, double measured);
 
@@ -633,6 +714,12 @@ class Platform
     double aggregateRUp(const FunctionState &fn) const;
     std::size_t usageKeyFor(FunctionState &fn,
                             const cluster::InstanceConfig &config);
+    /** Domain occupancy of @p fn's non-draining live instances — the
+     *  anti-affinity spread score input (inert at weight 0). */
+    SpreadContext spreadContextFor(const FunctionState &fn) const;
+    /** &ctx when spread scoring is active, else nullptr (bit-identical
+     *  disabled path: scheduler never sees a context). */
+    SpreadContext *spreadArg(SpreadContext &ctx) const;
 
     /** One injected trace and its replay cursor. */
     struct TraceFeed
@@ -681,6 +768,12 @@ class Platform
     std::vector<sim::Tick> serverDownSince_;
     /** Completed downtime summed over all servers. */
     sim::Tick serverDownAccum_ = 0;
+
+    /** Ground-truth gray exec multiplier per server (empty = all 1.0). */
+    std::vector<double> grayMult_;
+    /** Outlier ejector (null when health scoring is disabled). */
+    std::unique_ptr<health::OutlierEjector> health_;
+    std::shared_ptr<sim::Simulation::Periodic> healthHandle_;
 };
 
 } // namespace infless::core

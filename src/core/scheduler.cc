@@ -140,7 +140,8 @@ struct PoolEntry
 std::vector<LaunchPlan>
 GreedyScheduler::schedule(const models::ModelInfo &model,
                           double residual_rps, sim::Tick slo, int max_batch,
-                          cluster::Cluster &cluster) const
+                          cluster::Cluster &cluster,
+                          SpreadContext *spread) const
 {
     obs::ProfScope schedule_scope(profiler_, obs::Phase::Schedule);
     ++decisions_;
@@ -194,6 +195,11 @@ GreedyScheduler::schedule(const models::ModelInfo &model,
     std::size_t cut = pool.size(); // by_gate[0, cut) is admissible
 
     const cluster::CapacityIndex &index = cluster.capacityIndex();
+    // Spread is live only when the caller asked for it AND the cluster
+    // actually has domains; otherwise the base forEachClass argmax runs
+    // and the pass is bit-identical to the pre-topology scheduler.
+    const bool spread_on =
+        spread != nullptr && spread->weight > 0.0 && index.domainsEnabled();
 
     while (residual_rps > 1e-9) {
         while (cut > 0 && pool[by_gate[cut - 1]].gateKey > residual_rps) {
@@ -258,22 +264,46 @@ GreedyScheduler::schedule(const models::ModelInfo &model,
                     entry.cand.config.resources;
                 double cand_e = -1.0;
                 cluster::ServerId cand_server = cluster::kNoServer;
-                index.forEachClass(
-                    config_.beta,
-                    [&](const cluster::Resources &avail,
-                        double weighted_avail, cluster::ServerId min_id,
-                        std::size_t) {
-                        if (!req.fitsIn(avail))
-                            return;
-                        double e = efficiencyFromAvail(
-                            entry.cand, entry.weightedCost,
-                            weighted_avail, norm, residual_rps);
-                        if (e > cand_e ||
-                            (e == cand_e && min_id < cand_server)) {
-                            cand_e = e;
-                            cand_server = min_id;
-                        }
-                    });
+                auto consider = [&](double e, cluster::ServerId min_id) {
+                    if (e > cand_e ||
+                        (e == cand_e && min_id < cand_server)) {
+                        cand_e = e;
+                        cand_server = min_id;
+                    }
+                };
+                if (spread_on) {
+                    // Domain-bucketed argmax: servers in one (class,
+                    // rack) bucket share availability AND penalty, so
+                    // one evaluation per bucket reproduces the naive
+                    // per-server scan exactly.
+                    index.forEachClassDomain(
+                        config_.beta,
+                        [&](const cluster::Resources &avail,
+                            double weighted_avail, cluster::DomainId,
+                            cluster::ServerId min_id, std::size_t) {
+                            if (!req.fitsIn(avail))
+                                return;
+                            double e = efficiencyFromAvail(
+                                entry.cand, entry.weightedCost,
+                                weighted_avail, norm, residual_rps);
+                            e /= spread->penalty(
+                                cluster.serverDomain(min_id));
+                            consider(e, min_id);
+                        });
+                } else {
+                    index.forEachClass(
+                        config_.beta,
+                        [&](const cluster::Resources &avail,
+                            double weighted_avail,
+                            cluster::ServerId min_id, std::size_t) {
+                            if (!req.fitsIn(avail))
+                                return;
+                            double e = efficiencyFromAvail(
+                                entry.cand, entry.weightedCost,
+                                weighted_avail, norm, residual_rps);
+                            consider(e, min_id);
+                        });
+                }
                 if (cand_e > best_e) {
                     best_e = cand_e;
                     best_entry = &entry;
@@ -295,6 +325,8 @@ GreedyScheduler::schedule(const models::ModelInfo &model,
         plan.bounds = best_entry->cand.bounds;
         plans.push_back(plan);
 
+        if (spread_on)
+            spread->add(cluster.serverDomain(best_server));
         residual_rps -= best_entry->cand.bounds.up;
     }
     return plans;
@@ -304,7 +336,8 @@ std::vector<LaunchPlan>
 GreedyScheduler::scheduleNaive(const models::ModelInfo &model,
                                double residual_rps, sim::Tick slo,
                                int max_batch,
-                               cluster::Cluster &cluster) const
+                               cluster::Cluster &cluster,
+                               SpreadContext *spread) const
 {
     obs::ProfScope schedule_scope(profiler_, obs::Phase::Schedule);
     ++decisions_;
@@ -355,11 +388,17 @@ GreedyScheduler::scheduleNaive(const models::ModelInfo &model,
                                              config_.beta));
             }
             // argmax e_ij over candidates x servers.
+            const bool spread_on = spread != nullptr &&
+                                   spread->weight > 0.0 &&
+                                   cluster.capacityIndex().domainsEnabled();
             double best_e = -1.0;
             for (const auto &cand : candidates) {
                 for (const auto &server : cluster.servers()) {
                     double e =
                         efficiency(cand, server, norm, residual_rps);
+                    if (spread_on && e >= 0.0)
+                        e /= spread->penalty(
+                            cluster.serverDomain(server.id()));
                     if (e > best_e) {
                         best_e = e;
                         best_cand = &cand;
@@ -382,6 +421,8 @@ GreedyScheduler::scheduleNaive(const models::ModelInfo &model,
         plan.bounds = best_cand->bounds;
         plans.push_back(plan);
 
+        if (spread != nullptr && spread->weight > 0.0)
+            spread->add(cluster.serverDomain(best_server));
         residual_rps -= best_cand->bounds.up;
     }
     return plans;

@@ -62,6 +62,61 @@ struct SchedulerConfig
     /** Let the fragmentation denominator approach zero for snug fits
      *  instead of flooring it. */
     bool noFragmentFloor = false;
+
+    /**
+     * Soft anti-affinity spread weight. When positive (and the cluster
+     * has failure domains assigned), every candidate placement's e_ij is
+     * divided by 1 + spreadWeight * (instances the function already has
+     * in that zone + in that rack), so new instances prefer untouched
+     * domains — without ever refusing a placement the base metric would
+     * have made (the penalty reorders, capacity still decides). 0 (the
+     * default) is bit-identical to the pre-topology scheduler.
+     */
+    double spreadWeight = 0.0;
+};
+
+/**
+ * Anti-affinity state for one function's placement pass: how many of
+ * its instances already live in each zone/rack. The scheduler updates
+ * the counts as it places, so one pass spreads its own launches too.
+ */
+struct SpreadContext
+{
+    /** Penalty weight (from SchedulerConfig::spreadWeight). */
+    double weight = 0.0;
+    /** Existing instances per zone, indexed by zone id. */
+    std::vector<int> zoneCount;
+    /** Existing instances per rack, indexed by global rack id. */
+    std::vector<int> rackCount;
+
+    /** Count one placement in @p domain. */
+    void
+    add(const cluster::FailureDomain &domain)
+    {
+        if (!domain.assigned())
+            return;
+        if (zoneCount.size() <= static_cast<std::size_t>(domain.zone))
+            zoneCount.resize(static_cast<std::size_t>(domain.zone) + 1, 0);
+        if (rackCount.size() <= static_cast<std::size_t>(domain.rack))
+            rackCount.resize(static_cast<std::size_t>(domain.rack) + 1, 0);
+        ++zoneCount[static_cast<std::size_t>(domain.zone)];
+        ++rackCount[static_cast<std::size_t>(domain.rack)];
+    }
+
+    /** The divisor applied to e_ij for a server in @p domain. */
+    double
+    penalty(const cluster::FailureDomain &domain) const
+    {
+        if (!domain.assigned())
+            return 1.0;
+        int zone = static_cast<std::size_t>(domain.zone) < zoneCount.size()
+                       ? zoneCount[static_cast<std::size_t>(domain.zone)]
+                       : 0;
+        int rack = static_cast<std::size_t>(domain.rack) < rackCount.size()
+                       ? rackCount[static_cast<std::size_t>(domain.rack)]
+                       : 0;
+        return 1.0 + weight * static_cast<double>(zone + rack);
+    }
 };
 
 /** One feasible configuration from AvailableConfig. */
@@ -165,13 +220,18 @@ class GreedyScheduler
      * resources if it chooses not to).
      *
      * @param max_batch Function-level batch cap.
+     * @param spread Optional anti-affinity state; null (or zero weight,
+     *        or a cluster without domains) reproduces the base metric
+     *        bit-for-bit. Mutated: placements made by this call are
+     *        counted so the pass spreads its own launches.
      * @return The launch plans; may cover less than the residual when the
      *         cluster runs out of room.
      */
     std::vector<LaunchPlan> schedule(const models::ModelInfo &model,
                                      double residual_rps, sim::Tick slo,
                                      int max_batch,
-                                     cluster::Cluster &cluster) const;
+                                     cluster::Cluster &cluster,
+                                     SpreadContext *spread = nullptr) const;
 
     /**
      * Reference implementation of schedule(): rebuilds the candidate pool
@@ -182,7 +242,9 @@ class GreedyScheduler
     std::vector<LaunchPlan> scheduleNaive(const models::ModelInfo &model,
                                           double residual_rps,
                                           sim::Tick slo, int max_batch,
-                                          cluster::Cluster &cluster) const;
+                                          cluster::Cluster &cluster,
+                                          SpreadContext *spread =
+                                              nullptr) const;
 
   private:
     /** Eq. 10 on precomputed scalars (fit already checked). */

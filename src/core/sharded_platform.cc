@@ -34,11 +34,46 @@ ShardedPlatform::ShardedPlatform(std::size_t num_servers,
         PlatformOptions cell_opts_c = opts;
         // The single-cell platform keeps the caller's seed untouched so
         // cells=1 reproduces a flat Platform bit for bit.
-        if (cells > 1)
+        if (cells > 1) {
             cell_opts_c.seed =
                 sim::hashCombine(opts.seed, kCellSeedKey + c);
+            // Correlated outages are a FLEET property: the root stream
+            // below drives them; a per-cell stream would sample local
+            // zones with per-cell seeds and splinter the schedule.
+            cell_opts_c.faults.domainOutageMtbfSec = 0.0;
+            cell_opts_c.faults.domainOutageAt = sim::kTickNever;
+        }
         cells_.push_back(std::make_unique<Platform>(
             membership_.size(c), std::move(cell_opts_c)));
+    }
+    topology_ = opts.topology;
+    if (!delegated() &&
+        (opts.topology.enabled() || opts.faults.grayEnabled())) {
+        if (opts.faults.grayEnabled()) {
+            grayByGlobal_.resize(numServers_, 1.0);
+            for (std::size_t g = 0; g < numServers_; ++g)
+                grayByGlobal_[g] = faults::grayExecMultiplier(
+                    opts.faults, opts.seed,
+                    static_cast<cluster::ServerId>(g));
+        }
+        // Each cell self-assigned domains and gray multipliers from its
+        // LOCAL ids and per-cell seed; both are global-id properties, so
+        // re-derive them from the root view.
+        for (std::size_t c = 0; c < cells; ++c) {
+            for (cluster::ServerId g : membership_.members(c)) {
+                cluster::ServerId local = membership_.localId(g);
+                cells_[c]->assignServerDomain(local, g);
+                if (!grayByGlobal_.empty())
+                    cells_[c]->setGrayMultiplier(
+                        local,
+                        grayByGlobal_[static_cast<std::size_t>(g)]);
+            }
+        }
+    }
+    if (!delegated() && opts.faults.domainOutagesEnabled()) {
+        domainStream_ = std::make_unique<faults::DomainOutageStream>(
+            opts.faults, opts.seed, opts.topology.zones);
+        pendingOutage_ = domainStream_->next();
     }
     router_ = std::make_unique<cluster::CellRouter>(
         cells, sim::hashCombine(opts.seed, kRouterSeedKey));
@@ -173,6 +208,7 @@ ShardedPlatform::barrier(sim::Tick window_end, sim::Tick until)
     // is byte-identical to the static-partition control plane.
     applyRebalance();
     refreshRouter();
+    expandDomainOutages(cursor_);
     applyFaultCommands(cursor_);
     routeArrivals(window_end, until);
 }
@@ -230,6 +266,12 @@ ShardedPlatform::applyMigration(const cluster::MigrationOrder &order)
             continue;
         cluster::Resources cap = donor.releaseServer(local);
         cluster::ServerId new_local = receiver.adoptServer(cap);
+        // Domain and gray affliction are properties of the MACHINE,
+        // keyed by its global id: they follow it across cells.
+        receiver.assignServerDomain(new_local, g);
+        if (!grayByGlobal_.empty())
+            receiver.setGrayMultiplier(
+                new_local, grayByGlobal_[static_cast<std::size_t>(g)]);
         membership_.migrate(g, order.to, new_local);
         ++moved;
     }
@@ -347,6 +389,32 @@ ShardedPlatform::absorbSloHealth()
         return;
     for (std::size_t c = 0; c < cells_.size(); ++c)
         mergedSlo_.absorb(c, cells_[c]->sloMonitor());
+}
+
+void
+ShardedPlatform::expandDomainOutages(sim::Tick barrier_tick)
+{
+    if (!domainStream_)
+        return;
+    while (pendingOutage_.valid() && pendingOutage_.at <= barrier_tick) {
+        const faults::DomainOutageEvent ev = pendingOutage_;
+        // One note per outage — counter, DomainOutage trace instant and
+        // flight trigger land on cell 0 (the merged metrics sum cells,
+        // so noting everywhere would multiply the count). The member
+        // crashes ride the regular command path so the owning cells
+        // tear down instances exactly like any injected crash.
+        cells_[0]->noteDomainOutage(ev.zone, ev.at);
+        cells_[0]->noteDomainRepair(ev.zone, ev.repairAt);
+        for (std::size_t g = 0; g < numServers_; ++g) {
+            auto id = static_cast<cluster::ServerId>(g);
+            if (topology_.domainOf(id).zone != ev.zone)
+                continue;
+            faultCommands_.push_back(FaultCommand{id, ev.at, true});
+            faultCommands_.push_back(
+                FaultCommand{id, ev.repairAt, false});
+        }
+        pendingOutage_ = domainStream_->next();
+    }
 }
 
 void

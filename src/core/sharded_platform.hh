@@ -265,6 +265,8 @@ class ShardedPlatform
     void refreshRouter();
     void routeArrivals(sim::Tick window_end, sim::Tick until);
     void applyFaultCommands(sim::Tick barrier_tick);
+    /** Expand due correlated outages into per-server fault commands. */
+    void expandDomainOutages(sim::Tick barrier_tick);
     /** Serially absorb every cell's newly closed SLO windows. */
     void absorbSloHealth();
     void rebuildMerged() const;
@@ -282,6 +284,20 @@ class ShardedPlatform
 
     std::vector<PendingFeed> pending_;
     std::vector<FaultCommand> faultCommands_;
+    /** Fleet topology, for expanding zone outages to member servers and
+     *  re-deriving domains from global ids after migrations. */
+    cluster::TopologyConfig topology_;
+    /**
+     * Root-seeded correlated-outage schedule (multi-cell only). The
+     * per-cell injectors have their domain-outage fields cleared, so the
+     * fleet sees exactly ONE schedule — identical to the flat platform's
+     * — however many cells partition it.
+     */
+    std::unique_ptr<faults::DomainOutageStream> domainStream_;
+    faults::DomainOutageEvent pendingOutage_;
+    /** Gray exec multiplier per GLOBAL id (empty = gray disabled);
+     *  reapplied to the receiving cell after every migration. */
+    std::vector<double> grayByGlobal_;
     /** Pinned functions: fn -> cell (arrivals bypass the router). */
     std::map<FunctionId, std::size_t> pins_;
     /** drops+sheds baseline per cell for the digest's pressure delta. */

@@ -16,8 +16,9 @@ constexpr std::uint64_t kFaultStreamKey = 0xFA17'AB1E'0000'0001ULL;
 
 FaultInjector::FaultInjector(sim::Simulation &sim,
                              const FaultProfile &profile,
-                             std::uint64_t seed, std::size_t num_servers)
-    : sim_(sim), profile_(profile),
+                             std::uint64_t seed, std::size_t num_servers,
+                             std::size_t num_zones)
+    : sim_(sim), profile_(profile), seed_(seed),
       startupRng_(sim::hashCombine(seed, kFaultStreamKey)),
       stragglerRng_(sim::hashCombine(seed, kFaultStreamKey + 1))
 {
@@ -34,19 +35,43 @@ FaultInjector::FaultInjector(sim::Simulation &sim,
                    "straggler factor must be >= 1");
     serverRng_.reserve(num_servers);
     for (std::size_t s = 0; s < num_servers; ++s)
-        serverRng_.emplace_back(
-            sim::hashCombine(sim::hashCombine(seed, kFaultStreamKey + 2),
-                             static_cast<std::uint64_t>(s)));
+        serverRng_.push_back(serverStream(s));
+    if (profile_.domainOutagesEnabled())
+        domainStream_ = std::make_unique<DomainOutageStream>(
+            profile_, seed, num_zones);
+}
+
+sim::Rng
+FaultInjector::serverStream(std::uint64_t server) const
+{
+    return sim::Rng(
+        sim::hashCombine(sim::hashCombine(seed_, kFaultStreamKey + 2),
+                         server));
 }
 
 void
 FaultInjector::start(Hooks hooks)
 {
     hooks_ = std::move(hooks);
+    started_ = true;
+    if (domainStream_)
+        scheduleNextDomainOutage();
     if (!profile_.crashesEnabled())
         return;
     for (std::size_t s = 0; s < serverRng_.size(); ++s)
         scheduleCrash(s);
+}
+
+void
+FaultInjector::addServer(cluster::ServerId id)
+{
+    sim::simAssert(id >= 0 && static_cast<std::size_t>(id) ==
+                                  serverRng_.size(),
+                   "fault surface must grow contiguously (got server ",
+                   id, ", expected ", serverRng_.size(), ")");
+    serverRng_.push_back(serverStream(static_cast<std::uint64_t>(id)));
+    if (started_ && profile_.crashesEnabled())
+        scheduleCrash(static_cast<std::size_t>(id));
 }
 
 void
@@ -82,6 +107,33 @@ FaultInjector::crashServer(std::size_t server)
         if (hooks_.serverRecover)
             hooks_.serverRecover(id);
         scheduleCrash(server);
+    });
+}
+
+void
+FaultInjector::scheduleNextDomainOutage()
+{
+    DomainOutageEvent ev = domainStream_->next();
+    if (!ev.valid())
+        return; // horizon passed: the outage process ends
+    sim::Tick at = std::max(ev.at, sim_.now() + 1);
+    sim::Tick repair_at = std::max(ev.repairAt, at + 1);
+    sim_.atFixed(at, [this, ev, repair_at] {
+        ++domainOutages_;
+        sim::logInfo("fault: zone ", ev.zone, " outage at t=",
+                     sim::ticksToSec(sim_.now()), "s, repair at t=",
+                     sim::ticksToSec(repair_at), "s");
+        if (hooks_.domainOutage)
+            hooks_.domainOutage(ev.zone);
+        sim_.atFixed(repair_at, [this, ev] {
+            ++domainRepairs_;
+            sim::logInfo("fault: zone ", ev.zone, " repaired at t=",
+                         sim::ticksToSec(sim_.now()), "s");
+            if (hooks_.domainRepair)
+                hooks_.domainRepair(ev.zone);
+            // Outages are sequential: the next gap starts at repair.
+            scheduleNextDomainOutage();
+        });
     });
 }
 

@@ -32,9 +32,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/server.hh"
+#include "cluster/topology.hh"
+#include "faults/domain_outage.hh"
 #include "faults/profile_error.hh"
 #include "sim/rng.hh"
 #include "sim/simulation.hh"
@@ -71,6 +74,37 @@ struct FaultProfile
      */
     ProfileErrorConfig profileError;
 
+    // Correlated domain outages (require a topology with zones) -------------
+
+    /** Mean time between zone-wide outages, seconds (0 = never). */
+    double domainOutageMtbfSec = 0.0;
+    /** Mean time to repair a zone outage, seconds. */
+    double domainOutageMttrSec = 600.0;
+    /**
+     * Scripted one-shot outage: the zone @p domainOutageTarget dies at
+     * exactly this tick and repairs after exactly domainOutageMttrSec
+     * (no draw). kTickNever disables. Bench scenarios use this to line
+     * every mode up against the same outage window.
+     */
+    sim::Tick domainOutageAt = sim::kTickNever;
+    /** Victim zone of the scripted outage (wrapped into [0, zones)). */
+    std::int32_t domainOutageTarget = 0;
+
+    // Persistent gray failures ----------------------------------------------
+
+    /**
+     * Gray-failure mode: each server is gray with this probability
+     * (seeded by global id) and then serves EVERY batch grayFactor
+     * slower, for the whole run — distinct from the transient per-batch
+     * stragglers above. Like profileError this is a pure function of
+     * the seed: it schedules nothing and draws from no shared stream,
+     * so it is excluded from enabled() and wired directly by the
+     * platform (grayExecMultiplier in domain_outage.hh).
+     */
+    double grayFraction = 0.0;
+    /** Execution-time multiplier applied to gray servers. */
+    double grayFactor = 1.0;
+
     bool crashesEnabled() const { return serverMtbfSec > 0.0; }
 
     bool
@@ -79,12 +113,25 @@ struct FaultProfile
         return stragglerProb > 0.0 && stragglerFactor != 1.0;
     }
 
-    /** Whether any fault class is active. */
+    bool
+    domainOutagesEnabled() const
+    {
+        return domainOutageMtbfSec > 0.0 ||
+               domainOutageAt != sim::kTickNever;
+    }
+
+    bool
+    grayEnabled() const
+    {
+        return grayFraction > 0.0 && grayFactor != 1.0;
+    }
+
+    /** Whether any event-scheduling fault class is active. */
     bool
     enabled() const
     {
         return crashesEnabled() || startupFailureProb > 0.0 ||
-               stragglersEnabled();
+               stragglersEnabled() || domainOutagesEnabled();
     }
 };
 
@@ -100,6 +147,10 @@ class FaultInjector
     {
         std::function<void(cluster::ServerId)> serverCrash;
         std::function<void(cluster::ServerId)> serverRecover;
+        /** A whole zone dies at once (correlated outage). */
+        std::function<void(cluster::DomainId)> domainOutage;
+        /** The zone repairs together. */
+        std::function<void(cluster::DomainId)> domainRepair;
     };
 
     /**
@@ -109,15 +160,28 @@ class FaultInjector
      *        (not forked from the simulation RNG), so the workload
      *        streams are untouched.
      * @param num_servers Cluster size (one crash process per server).
+     * @param num_zones Topology zone count; 0 disables domain outages
+     *        (required > 0 when the profile configures them).
      */
     FaultInjector(sim::Simulation &sim, const FaultProfile &profile,
-                  std::uint64_t seed, std::size_t num_servers);
+                  std::uint64_t seed, std::size_t num_servers,
+                  std::size_t num_zones = 0);
 
     FaultInjector(const FaultInjector &) = delete;
     FaultInjector &operator=(const FaultInjector &) = delete;
 
     /** Install hooks and schedule the initial per-server crash events. */
     void start(Hooks hooks);
+
+    /**
+     * Extend the fault surface to a server adopted after construction
+     * (cell migration / fleet growth). The new server gets its own
+     * crash stream keyed by its id — existing servers' schedules are
+     * untouched, because every per-server stream is seeded from the id,
+     * never from draw order. Ids must arrive contiguously (they are
+     * append-only in Cluster).
+     */
+    void addServer(cluster::ServerId id);
 
     const FaultProfile &profile() const { return profile_; }
 
@@ -139,25 +203,38 @@ class FaultInjector
     std::int64_t recoveriesScheduled() const { return recoveries_; }
     std::int64_t startupFailureDraws() const { return startupFailures_; }
     std::int64_t stragglerDraws() const { return stragglers_; }
+    std::int64_t domainOutagesScheduled() const { return domainOutages_; }
+    std::int64_t domainRepairsScheduled() const { return domainRepairs_; }
 
   private:
     void scheduleCrash(std::size_t server);
     void crashServer(std::size_t server);
+    void scheduleNextDomainOutage();
+
+    /** Build the id-keyed crash stream for @p server. */
+    sim::Rng serverStream(std::uint64_t server) const;
 
     sim::Simulation &sim_;
     FaultProfile profile_;
     Hooks hooks_;
+    std::uint64_t seed_;
+    bool started_ = false;
 
-    /** Per-server crash/repair timing streams (independent of each other
-     *  so one server's history never shifts another's). */
+    /** Per-server crash/repair timing streams (each seeded from the
+     *  server *id*, so one server's history — or the fleet growing —
+     *  never shifts another's). */
     std::vector<sim::Rng> serverRng_;
     sim::Rng startupRng_;
     sim::Rng stragglerRng_;
+    /** Domain-outage schedule; null when disabled. */
+    std::unique_ptr<DomainOutageStream> domainStream_;
 
     std::int64_t crashes_ = 0;
     std::int64_t recoveries_ = 0;
     std::int64_t startupFailures_ = 0;
     std::int64_t stragglers_ = 0;
+    std::int64_t domainOutages_ = 0;
+    std::int64_t domainRepairs_ = 0;
 };
 
 } // namespace infless::faults

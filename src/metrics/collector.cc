@@ -163,6 +163,30 @@ RunMetrics::recordCellMigration()
     ++cellMigrations_;
 }
 
+void
+RunMetrics::recordHealthEjection()
+{
+    ++healthEjections_;
+}
+
+void
+RunMetrics::recordHealthReadmission()
+{
+    ++healthReadmissions_;
+}
+
+void
+RunMetrics::recordGrayDetection()
+{
+    ++grayDetections_;
+}
+
+void
+RunMetrics::recordDomainOutage()
+{
+    ++domainOutages_;
+}
+
 sim::Tick
 RunMetrics::meanRestoreTicks() const
 {
@@ -297,6 +321,10 @@ RunMetrics::mergeCounters(const RunMetrics &other)
     limiterSheds_ += other.limiterSheds_;
     limiterBackoffs_ += other.limiterBackoffs_;
     cellMigrations_ += other.cellMigrations_;
+    healthEjections_ += other.healthEjections_;
+    healthReadmissions_ += other.healthReadmissions_;
+    grayDetections_ += other.grayDetections_;
+    domainOutages_ += other.domainOutages_;
     restoreTicksSum_ += other.restoreTicksSum_;
     latency_.merge(other.latency_);
     queueTime_.merge(other.queueTime_);

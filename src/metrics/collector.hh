@@ -122,6 +122,17 @@ class RunMetrics
     /** A server migrated between cells at a window barrier. */
     void recordCellMigration();
 
+    // Health / failure domains --------------------------------------------
+
+    /** The outlier ejector quarantined a degraded server. */
+    void recordHealthEjection();
+    /** A quarantined server finished probation and was re-admitted. */
+    void recordHealthReadmission();
+    /** An ejected server turned out to be ground-truth gray. */
+    void recordGrayDetection();
+    /** A correlated failure-domain outage hit. */
+    void recordDomainOutage();
+
     // Latency-surface cache (simulation engine) ---------------------------
 
     /** Snapshot the exec-model memo's hit/miss counters (absolute values;
@@ -158,6 +169,10 @@ class RunMetrics
     std::int64_t limiterSheds() const { return limiterSheds_; }
     std::int64_t limiterBackoffs() const { return limiterBackoffs_; }
     std::int64_t cellMigrations() const { return cellMigrations_; }
+    std::int64_t healthEjections() const { return healthEjections_; }
+    std::int64_t healthReadmissions() const { return healthReadmissions_; }
+    std::int64_t grayDetections() const { return grayDetections_; }
+    std::int64_t domainOutages() const { return domainOutages_; }
     std::uint64_t execCacheHits() const { return execCacheHits_; }
     std::uint64_t execCacheMisses() const { return execCacheMisses_; }
 
@@ -250,6 +265,10 @@ class RunMetrics
     std::int64_t limiterSheds_ = 0;
     std::int64_t limiterBackoffs_ = 0;
     std::int64_t cellMigrations_ = 0;
+    std::int64_t healthEjections_ = 0;
+    std::int64_t healthReadmissions_ = 0;
+    std::int64_t grayDetections_ = 0;
+    std::int64_t domainOutages_ = 0;
     sim::Tick restoreTicksSum_ = 0;
     std::uint64_t execCacheHits_ = 0;
     std::uint64_t execCacheMisses_ = 0;

@@ -177,6 +177,18 @@ TelemetryRegistry::addRunMetrics(const metrics::RunMetrics &m)
     counter("cell_migrations_total",
             static_cast<double>(m.cellMigrations()),
             "Servers migrated between cells at window barriers");
+    counter("health_ejections_total",
+            static_cast<double>(m.healthEjections()),
+            "Servers quarantined by the outlier ejector");
+    counter("health_readmissions_total",
+            static_cast<double>(m.healthReadmissions()),
+            "Quarantined servers re-admitted after probation");
+    counter("gray_detections_total",
+            static_cast<double>(m.grayDetections()),
+            "Ejected servers that were ground-truth gray failures");
+    counter("domain_outages_total",
+            static_cast<double>(m.domainOutages()),
+            "Correlated failure-domain outages injected");
 
     gauge("slo_violation_rate", m.sloViolationRate(),
           "Fraction of requests violating the SLO (drops included)");

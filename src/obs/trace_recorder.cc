@@ -53,6 +53,14 @@ spanKindName(SpanKind kind)
         return "batch_wait";
       case SpanKind::FlightDump:
         return "flight_dump";
+      case SpanKind::HealthEjection:
+        return "health_ejection";
+      case SpanKind::HealthReadmission:
+        return "health_readmission";
+      case SpanKind::DomainOutage:
+        return "domain_outage";
+      case SpanKind::DomainRepair:
+        return "domain_repair";
     }
     return "?";
 }
@@ -73,6 +81,8 @@ flightTriggerName(FlightTrigger trigger)
         return "server_crash";
       case FlightTrigger::Manual:
         return "manual";
+      case FlightTrigger::DomainOutage:
+        return "domain_outage";
     }
     return "?";
 }
@@ -203,7 +213,11 @@ isClusterEvent(SpanKind kind)
 {
     return kind == SpanKind::ServerCrash ||
            kind == SpanKind::ServerRecovery ||
-           kind == SpanKind::CellMigration;
+           kind == SpanKind::CellMigration ||
+           kind == SpanKind::HealthEjection ||
+           kind == SpanKind::HealthReadmission ||
+           kind == SpanKind::DomainOutage ||
+           kind == SpanKind::DomainRepair;
 }
 
 /** Function-level overload control transitions: process-scoped markers

@@ -56,6 +56,10 @@ enum class SpanKind : std::uint8_t
     CellMigration,   ///< server migrated between cells (cluster instant)
     BatchWait,       ///< waiting for the running batch to drain (span)
     FlightDump,      ///< flight recorder dumped at this instant (marker)
+    HealthEjection,  ///< outlier ejector quarantined a server (instant)
+    HealthReadmission, ///< probation expired, server re-admitted (instant)
+    DomainOutage,    ///< a failure domain died at once (cluster instant)
+    DomainRepair,    ///< the failure domain repaired (cluster instant)
 };
 
 /** Display name of a span kind (trace-event "name" field). */
@@ -164,9 +168,10 @@ enum class FlightTrigger : std::uint8_t
     None,        ///< no dump yet
     SloFastBurn, ///< fast burn-rate alert fired
     SloSlowBurn, ///< slow burn-rate alert fired
-    BreakerOpen, ///< a circuit breaker opened
-    ServerCrash, ///< a server crash was injected
-    Manual       ///< explicit trigger (tests / operators)
+    BreakerOpen,  ///< a circuit breaker opened
+    ServerCrash,  ///< a server crash was injected
+    Manual,       ///< explicit trigger (tests / operators)
+    DomainOutage  ///< a correlated failure-domain outage hit
 };
 
 const char *flightTriggerName(FlightTrigger trigger);

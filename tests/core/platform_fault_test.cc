@@ -9,7 +9,9 @@
 
 #include "cluster/instance.hh"
 #include "core/platform.hh"
+#include "faults/domain_outage.hh"
 #include "faults/retry_policy.hh"
+#include "obs/slo_monitor.hh"
 #include "workload/generators.hh"
 
 namespace {
@@ -226,6 +228,159 @@ TEST(PlatformFaultTest, ZeroRateProfileIsBitIdentical)
     zeroed.retry.maxAttempts = 5; // retry config alone must not matter
 
     EXPECT_EQ(run(defaults), run(zeroed));
+}
+
+TEST(PlatformDomainTest, ScriptedOutageCrashesAndRepairsWholeZone)
+{
+    PlatformOptions opts;
+    opts.topology.zones = 2;
+    opts.topology.racksPerZone = 1;
+    opts.topology.rackSize = 2; // zone 0 = {0,1}, zone 1 = {2,3}
+    opts.faults.domainOutageAt = 10 * kTicksPerSec;
+    opts.faults.domainOutageTarget = 0;
+    opts.faults.domainOutageMttrSec = 5.0;
+
+    Platform p(4, opts);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, 40 * kTicksPerSec));
+
+    p.run(10 * kTicksPerSec + 1);
+    // The whole zone went down together; the other zone is untouched.
+    EXPECT_TRUE(p.cluster().serverDown(0));
+    EXPECT_TRUE(p.cluster().serverDown(1));
+    EXPECT_FALSE(p.cluster().serverDown(2));
+    EXPECT_FALSE(p.cluster().serverDown(3));
+    EXPECT_EQ(p.totalMetrics().domainOutages(), 1);
+    EXPECT_EQ(p.totalMetrics().serverCrashes(), 2);
+
+    // ...and it repairs together after the scripted MTTR.
+    p.run(15 * kTicksPerSec + 1);
+    EXPECT_EQ(p.cluster().downServers(), 0u);
+    EXPECT_EQ(p.totalMetrics().serverRecoveries(), 2);
+
+    p.run(50 * kTicksPerSec);
+    const auto &m = p.totalMetrics();
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+    EXPECT_GT(m.completions(), 0);
+}
+
+TEST(PlatformDomainTest, GrayServerIsDetectedEjectedAndReadmitted)
+{
+    PlatformOptions opts;
+    opts.faults.grayFraction = 0.4;
+    opts.faults.grayFactor = 4.0;
+    // Pick a seed whose gray draw hits server 0 — the first machine the
+    // greedy packer fills, so the gray machine actually serves work.
+    while (infless::faults::grayExecMultiplier(opts.faults, opts.seed,
+                                               0) == 1.0)
+        ++opts.seed;
+    opts.health.enabled = true;
+    opts.health.probation = 20 * kTicksPerSec;
+
+    Platform p(6, opts);
+    EXPECT_EQ(p.grayMultiplier(0), 4.0);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(80.0, 90 * kTicksPerSec));
+    p.run(100 * kTicksPerSec);
+
+    const auto &m = p.totalMetrics();
+    // The health engine spotted the silent slowdown and quarantined the
+    // machine (a gray detection: its multiplier exceeds 1).
+    EXPECT_GT(m.healthEjections(), 0);
+    EXPECT_GT(m.grayDetections(), 0);
+    ASSERT_NE(p.healthEjector(), nullptr);
+    EXPECT_GT(p.healthEjector()->ejections(), 0);
+    // Probation expired at least once mid-run: it came back (and, still
+    // gray, re-ejected on fresh evidence).
+    EXPECT_GT(m.healthReadmissions(), 0);
+    // The guard held: floor(0.2 * 6) = 1 quarantine slot.
+    EXPECT_LE(p.quarantinedServers(), 1u);
+    // Quarantine is drain-first, never drop: conservation holds.
+    EXPECT_EQ(m.completions() + m.drops(), m.arrivals());
+}
+
+TEST(PlatformDomainTest, TopologyAloneIsBitIdentical)
+{
+    // Assigning domains without enabling spread scoring or health must
+    // reproduce the default run bit-for-bit: the topology is pure
+    // bookkeeping until a consumer is switched on.
+    auto run = [](PlatformOptions opts) {
+        Platform p(4, std::move(opts));
+        auto fn = p.deploy(resnetSpec());
+        p.injectTrace(fn, uniformArrivals(80.0, kTicksPerMin));
+        p.run(kTicksPerMin + 10 * kTicksPerSec);
+        const auto &m = p.totalMetrics();
+        return std::tuple(m.arrivals(), m.completions(), m.drops(),
+                          m.batches(), m.launches(), m.sloViolations(),
+                          m.latency().mean(), m.latency().percentile(99),
+                          m.queueTime().mean(), p.totalLaunches(),
+                          p.meanFragmentRatio());
+    };
+
+    PlatformOptions with_topology;
+    with_topology.topology.zones = 2;
+    with_topology.topology.rackSize = 2;
+    EXPECT_EQ(run(PlatformOptions{}), run(with_topology));
+}
+
+// A burn-rate alert raised by a zone outage must blame the latency on
+// capacity loss — cold starts and queueing on the survivors — not on
+// execution, which never slowed down.
+TEST(PlatformDomainTest, OutageAlertAttributesColdAndQueueNotExec)
+{
+    PlatformOptions opts;
+    opts.topology.zones = 2;
+    opts.topology.rackSize = 2;
+    opts.faults.domainOutageAt = 20 * kTicksPerSec;
+    opts.faults.domainOutageTarget = 0;
+    opts.faults.domainOutageMttrSec = 15.0;
+    opts.obs.slo.enabled = true;
+
+    Platform p(4, opts);
+    auto fn = p.deploy(resnetSpec());
+    p.injectTrace(fn, uniformArrivals(60.0, 60 * kTicksPerSec));
+    p.run(70 * kTicksPerSec);
+
+    // The budget bled during the outage, loudly enough to page.
+    ASSERT_GT(p.sloMonitor().alertsFired(), 0);
+    bool post_outage_alert = false;
+    for (const auto &alert : p.sloMonitor().alerts())
+        post_outage_alert =
+            post_outage_alert ||
+            (alert.edge == infless::obs::AlertEdge::Firing &&
+             alert.at > opts.faults.domainOutageAt);
+    EXPECT_TRUE(post_outage_alert);
+
+    // Attribution: against the pre-outage steady state, the damage is
+    // cold-start + queue time (the capacity hole) — execution itself
+    // never slowed down, so its per-completion share stays flat.
+    double pre_cq = 0.0, pre_exec = 0.0, pre_n = 0.0;
+    double out_cq = 0.0, out_exec = 0.0, out_n = 0.0;
+    for (const auto &row : p.sloMonitor().closed(fn)) {
+        if (row.completions == 0)
+            continue;
+        // Baseline: the steady state between the deploy-time warmup
+        // (cold starts at t=0 bleed into the first windows) and the
+        // outage.
+        if (row.start >= 10 * kTicksPerSec &&
+            row.start + p.sloMonitor().config().windowTicks <=
+                opts.faults.domainOutageAt) {
+            pre_cq += row.coldSum + row.queueSum;
+            pre_exec += row.execSum;
+            pre_n += static_cast<double>(row.completions);
+        } else if (row.start >= opts.faults.domainOutageAt &&
+                   row.start <=
+                       opts.faults.domainOutageAt + 10 * kTicksPerSec) {
+            out_cq += row.coldSum + row.queueSum;
+            out_exec += row.execSum;
+            out_n += static_cast<double>(row.completions);
+        }
+    }
+    ASSERT_GT(pre_n, 0.0);
+    ASSERT_GT(out_n, 0.0);
+    EXPECT_GT(out_cq / out_n, 2.0 * (pre_cq / pre_n));
+    EXPECT_LT(out_exec / out_n, 1.5 * (pre_exec / pre_n));
+    EXPECT_GT(out_exec / out_n, 0.5 * (pre_exec / pre_n));
 }
 
 TEST(PlatformFaultTest, InjectorDrivenChaosConservesRequests)

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "cluster/topology.hh"
 #include "core/scheduler.hh"
 #include "models/exec_model.hh"
 #include "models/model_zoo.hh"
@@ -166,6 +167,63 @@ TEST_F(EquivalenceFixture, PaperLiteralAlgorithmOne)
     cfg.uncappedEfficiency = true;
     cfg.noFragmentFloor = true;
     runRandomizedCases(cfg, 6789, 40);
+}
+
+TEST_F(EquivalenceFixture, SpreadScoringMatchesNaive)
+{
+    // Failure-domain anti-affinity: with domains assigned and a live
+    // SpreadContext, the fast path must still match the reference
+    // bit-for-bit — including the context mutations (each placement
+    // feeds back into the next placement's penalty).
+    SchedulerConfig cfg;
+    cfg.spreadWeight = 0.5;
+    GreedyScheduler sched(cop, cfg);
+    Rng rng(7890);
+    const std::vector<const char *> names = {"ResNet-50", "MobileNet",
+                                             "VGGNet"};
+    for (int i = 0; i < 40; ++i) {
+        const auto &model = zoo.get(
+            names[static_cast<std::size_t>(rng.uniformInt(0, 2))]);
+        auto slo = msToTicks(100 + 100 * rng.uniformInt(0, 4));
+        double rps = rng.uniform(0.5, 2000.0);
+        auto servers = rng.uniformInt(2, 24);
+
+        cluster::TopologyConfig topo;
+        topo.zones = static_cast<std::int32_t>(rng.uniformInt(2, 4));
+        topo.racksPerZone = static_cast<std::int32_t>(rng.uniformInt(1, 2));
+        topo.rackSize = static_cast<std::int32_t>(rng.uniformInt(1, 3));
+
+        Cluster base(static_cast<std::size_t>(servers));
+        for (cluster::ServerId s = 0;
+             s < static_cast<cluster::ServerId>(servers); ++s)
+            base.setServerDomain(s, topo.domainOf(s));
+        randomOccupancy(base, rng, 0.3);
+
+        infless::core::SpreadContext spread;
+        spread.weight = cfg.spreadWeight;
+        // Pre-existing replicas bias some domains before this pass.
+        for (int k = 0; k < rng.uniformInt(0, 6); ++k)
+            spread.add(topo.domainOf(static_cast<cluster::ServerId>(
+                rng.uniformInt(0, servers - 1))));
+
+        Cluster for_fast = base;
+        Cluster for_naive = base;
+        infless::core::SpreadContext fast_ctx = spread;
+        infless::core::SpreadContext naive_ctx = spread;
+        auto fast =
+            sched.schedule(model, rps, slo, 32, for_fast, &fast_ctx);
+        auto naive = sched.scheduleNaive(model, rps, slo, 32, for_naive,
+                                         &naive_ctx);
+        std::string context = std::string(model.name) +
+                              " rps=" + std::to_string(rps) +
+                              " servers=" + std::to_string(servers) +
+                              " spread case=" + std::to_string(i);
+        expectIdenticalPlans(fast, naive, context);
+        EXPECT_EQ(fast_ctx.zoneCount, naive_ctx.zoneCount) << context;
+        EXPECT_EQ(fast_ctx.rackCount, naive_ctx.rackCount) << context;
+        EXPECT_EQ(for_fast.totalAllocated(), for_naive.totalAllocated())
+            << context;
+    }
 }
 
 TEST_F(EquivalenceFixture, LargeHomogeneousClusterSingleClass)

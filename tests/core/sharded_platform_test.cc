@@ -647,6 +647,200 @@ TEST(ShardedRebalance, FaultCommandsFollowMigratedServers)
     EXPECT_TRUE(platform.membership().consistent());
 }
 
+TEST(ShardedRebalance, CrashMidDrainResolvesThroughLiveMembership)
+{
+    // Regression: a crash/recovery command targeting a server while a
+    // migration order has it mid-drain (still hosting instances, so the
+    // move was deferred) must resolve through the live membership map —
+    // landing in whichever cell owns the machine at the barrier — and
+    // the deferred move must not double-release the machine afterwards.
+    RebalanceConfig rb;
+    rb.enabled = true;
+    PlatformOptions opts;
+    opts.seed = 41;
+    CellOptions cells;
+    cells.cells = 4;
+    cells.rebalance = rb;
+    ShardedPlatform platform(16, opts, cells);
+    // Heavy pinned traffic in EVERY cell: donor cells keep several busy
+    // servers, so migration orders into the overloaded cell 0 outrun the
+    // idle supply and fall back to the drain-and-move path.
+    auto hot = platform.deploy(spec("hot", "ResNet-50"));
+    platform.pinFunction(hot, 0);
+    platform.injectTrace(hot, uniformArrivals(2000.0, 20 * kTicksPerSec));
+    std::vector<infless::core::FunctionId> bgs;
+    for (std::size_t c = 1; c <= 3; ++c) {
+        auto bg = platform.deploy(
+            spec("bg" + std::to_string(c), "ResNet-50"));
+        platform.pinFunction(bg, c);
+        platform.injectTrace(bg,
+                             uniformArrivals(800.0, 20 * kTicksPerSec));
+        bgs.push_back(bg);
+    }
+
+    // Step the run until an order has been deferred (ordered > executed)
+    // and a donor-cell server is visibly draining.
+    infless::cluster::ServerId victim = infless::cluster::kNoServer;
+    Tick found_at = 0;
+    for (Tick t = kTicksPerSec;
+         t <= 20 * kTicksPerSec && victim == infless::cluster::kNoServer;
+         t += kTicksPerSec / 4) {
+        platform.run(t);
+        if (platform.rebalancer().migrationsOrdered() <=
+            static_cast<std::uint64_t>(platform.cellMigrations()))
+            continue;
+        for (std::size_t c = 1; c < platform.cellCount(); ++c) {
+            for (auto fn : bgs) {
+                for (const auto &snap :
+                     platform.cell(c).instanceSnapshots(fn)) {
+                    if (!snap.draining)
+                        continue;
+                    for (infless::cluster::ServerId g :
+                         platform.membership().members(c)) {
+                        if (platform.membership().localId(g) ==
+                            snap.server) {
+                            victim = g;
+                            break;
+                        }
+                    }
+                    if (victim != infless::cluster::kNoServer)
+                        break;
+                }
+                if (victim != infless::cluster::kNoServer)
+                    break;
+            }
+            if (victim != infless::cluster::kNoServer)
+                break;
+        }
+        found_at = t;
+    }
+    ASSERT_NE(victim, infless::cluster::kNoServer)
+        << "no drain-deferred migration observed by 20s";
+
+    // Crash it mid-drain; the command resolves at the next barrier.
+    platform.scheduleServerCrash(victim, found_at);
+    platform.run(found_at + kTicksPerSec);
+    // A down server can neither finish its drain nor be released, so
+    // ownership is frozen where the crash landed.
+    std::size_t owner = platform.membership().cellOf(victim);
+    EXPECT_EQ(platform.cell(owner).totalMetrics().serverCrashes(), 1);
+    EXPECT_EQ(platform.totalMetrics().serverCrashes(), 1);
+
+    platform.scheduleServerRecovery(victim, found_at + 3 * kTicksPerSec);
+    platform.run(kRunEnd);
+
+    const RunMetrics &m = platform.totalMetrics();
+    EXPECT_EQ(m.serverCrashes(), 1);
+    EXPECT_EQ(m.serverRecoveries(), 1);
+    // No machine lost or duplicated through order + drain + crash +
+    // recover + (possibly) the deferred move finally executing.
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < platform.cellCount(); ++c)
+        total += platform.cellServers(c);
+    EXPECT_EQ(total, 16u);
+    EXPECT_TRUE(platform.membership().consistent());
+    EXPECT_EQ(m.completions() + m.drops() + platform.inFlightRequests(),
+              m.arrivals());
+}
+
+// ---------------------------------------------------------------------------
+// Failure domains, gray failures, health ejection
+// ---------------------------------------------------------------------------
+
+TEST(ShardedDomains, ScriptedOutageSpansCellsAndMergesOnce)
+{
+    // Zone 0 of this layout is {0,1,2,6,7}: racks of 3 round-robin over
+    // 2 zones, so the zone straddles the 2-cell partition ([0,4), [4,8)).
+    PlatformOptions opts;
+    opts.seed = 19;
+    opts.topology.zones = 2;
+    opts.topology.racksPerZone = 1;
+    opts.topology.rackSize = 3;
+    opts.faults.domainOutageAt = 5 * kTicksPerSec;
+    opts.faults.domainOutageTarget = 0;
+    opts.faults.domainOutageMttrSec = 5.0;
+    CellOptions cells;
+    cells.cells = 2;
+    ShardedPlatform platform(8, opts, cells);
+    auto fn = platform.deploy(spec("resnet", "ResNet-50"));
+    platform.injectTrace(fn, uniformArrivals(50.0, 15 * kTicksPerSec));
+    platform.run(20 * kTicksPerSec);
+
+    const RunMetrics &m = platform.totalMetrics();
+    // Every member of the zone crashed together — across both cells —
+    // and repaired together.
+    EXPECT_EQ(m.serverCrashes(), 5);
+    EXPECT_EQ(m.serverRecoveries(), 5);
+    EXPECT_EQ(platform.cell(0).totalMetrics().serverCrashes(), 3);
+    EXPECT_EQ(platform.cell(1).totalMetrics().serverCrashes(), 2);
+    // ...but it is ONE outage: the note lands on cell 0 only, so the
+    // merged counter does not multiply by the number of cells touched.
+    EXPECT_EQ(m.domainOutages(), 1);
+    EXPECT_EQ(platform.cell(1).totalMetrics().domainOutages(), 0);
+    EXPECT_EQ(m.completions() + m.drops() + platform.inFlightRequests(),
+              m.arrivals());
+}
+
+std::vector<double>
+chaosRun(std::size_t threads)
+{
+    PlatformOptions opts;
+    opts.seed = 37;
+    // Zones straddle cell boundaries (racks of 3 over a 4x4 partition).
+    opts.topology.zones = 3;
+    opts.topology.racksPerZone = 1;
+    opts.topology.rackSize = 3;
+    opts.faults.domainOutageAt = 5 * kTicksPerSec;
+    opts.faults.domainOutageTarget = 1;
+    opts.faults.domainOutageMttrSec = 5.0;
+    opts.faults.grayFraction = 0.5;
+    opts.faults.grayFactor = 4.0;
+    opts.scheduler.spreadWeight = 0.5;
+    opts.health.enabled = true;
+    // Cells hold 4 servers each: the default 0.2 cap would floor to
+    // zero slots, so give each cell one ejection slot.
+    opts.health.maxEjectFraction = 0.3;
+    CellOptions cells;
+    cells.cells = 4;
+    cells.threads = threads;
+    ShardedPlatform platform(16, opts, cells);
+    driveWorkload(platform);
+
+    auto fp = fingerprint(platform.totalMetrics(), kRunEnd);
+    const RunMetrics &m = platform.totalMetrics();
+    fp.push_back(static_cast<double>(m.serverCrashes()));
+    fp.push_back(static_cast<double>(m.serverRecoveries()));
+    fp.push_back(static_cast<double>(m.domainOutages()));
+    fp.push_back(static_cast<double>(m.healthEjections()));
+    fp.push_back(static_cast<double>(m.healthReadmissions()));
+    fp.push_back(static_cast<double>(m.grayDetections()));
+    fp.push_back(static_cast<double>(platform.eventsExecuted()));
+    fp.push_back(static_cast<double>(platform.schedulerDecisions()));
+    for (std::size_t c = 0; c < platform.cellCount(); ++c) {
+        fp.push_back(static_cast<double>(platform.routedTo(c)));
+        fp.push_back(
+            static_cast<double>(platform.cell(c).quarantinedServers()));
+    }
+
+    // Non-vacuity: the correlated outage fired and took servers down.
+    EXPECT_EQ(m.domainOutages(), 1);
+    EXPECT_GT(m.serverCrashes(), 0);
+    EXPECT_EQ(m.completions() + m.drops() + platform.inFlightRequests(),
+              m.arrivals());
+    return fp;
+}
+
+TEST(ShardedDomains, ChaosRunByteIdenticalAcrossThreadCounts)
+{
+    // The full robustness stack at once — topology spread, a scripted
+    // zone outage straddling cells, gray servers, per-cell health
+    // ejection — stays byte-identical at every worker-thread count.
+    auto serial = chaosRun(1);
+    EXPECT_EQ(serial, chaosRun(2));
+    EXPECT_EQ(serial, chaosRun(4));
+    EXPECT_EQ(serial, chaosRun(0)); // pool default
+}
+
 TEST(ShardedRebalance, MigrationsEmitTraceInstants)
 {
     RebalanceConfig rb;

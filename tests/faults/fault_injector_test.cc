@@ -168,6 +168,159 @@ TEST(FaultInjectorTest, FaultStreamDoesNotTouchSimulationRng)
     EXPECT_EQ(draws(false), draws(true));
 }
 
+// Regression: crash substreams key on the server *id*, never on draw
+// order, so growing the fleet must leave every existing server's whole
+// crash/recovery history bit-identical. (The old fleet-size coupling
+// drew all servers from one stream: adding a machine shifted everyone.)
+TEST(FaultInjectorTest, FleetSizeDoesNotShiftExistingSchedules)
+{
+    Tick until = 600 * kTicksPerSec;
+    Recorded small = runInjector(11, crashyProfile(), 4, until);
+    Recorded big = runInjector(11, crashyProfile(), 9, until);
+    ASSERT_FALSE(small.crashes.empty());
+
+    auto only = [](const std::vector<std::pair<Tick, ServerId>> &events,
+                   ServerId cap) {
+        std::vector<std::pair<Tick, ServerId>> out;
+        for (const auto &e : events)
+            if (e.second < cap)
+                out.push_back(e);
+        return out;
+    };
+    EXPECT_EQ(small.crashes, only(big.crashes, 4));
+    EXPECT_EQ(small.recoveries, only(big.recoveries, 4));
+    // And the bigger fleet actually crashes its extra servers.
+    EXPECT_GT(big.crashes.size(), small.crashes.size());
+}
+
+// An adopted server (cell migration / fleet growth) gets the same
+// id-keyed stream it would have had from construction: adding it at
+// t=0 reproduces the from-birth schedule exactly.
+TEST(FaultInjectorTest, AddServerMatchesFromBirthSchedule)
+{
+    Tick until = 600 * kTicksPerSec;
+    Recorded born = runInjector(11, crashyProfile(), 5, until);
+
+    Simulation sim(11);
+    FaultInjector injector(sim, crashyProfile(), 11, 4);
+    Recorded rec;
+    injector.start(FaultInjector::Hooks{
+        [&](ServerId id) { rec.crashes.emplace_back(sim.now(), id); },
+        [&](ServerId id) { rec.recoveries.emplace_back(sim.now(), id); }});
+    injector.addServer(4);
+    sim.runUntil(until);
+    EXPECT_EQ(born.crashes, rec.crashes);
+    EXPECT_EQ(born.recoveries, rec.recoveries);
+}
+
+TEST(DomainOutageTest, ScriptedOutageIsExact)
+{
+    FaultProfile profile;
+    profile.domainOutageAt = 40 * kTicksPerSec;
+    profile.domainOutageTarget = 5; // wraps into [0, 3)
+    profile.domainOutageMttrSec = 10.0;
+    ASSERT_TRUE(profile.domainOutagesEnabled());
+
+    infless::faults::DomainOutageStream stream(profile, 7, 3);
+    auto ev = stream.next();
+    ASSERT_TRUE(ev.valid());
+    EXPECT_EQ(ev.at, 40 * kTicksPerSec);
+    EXPECT_EQ(ev.zone, 2);
+    EXPECT_EQ(ev.repairAt, 50 * kTicksPerSec);
+    // One-shot: nothing follows without a stochastic rate.
+    EXPECT_FALSE(stream.next().valid());
+}
+
+TEST(DomainOutageTest, StochasticStreamDeterministicAndSequential)
+{
+    FaultProfile profile;
+    profile.domainOutageMtbfSec = 120.0;
+    profile.domainOutageMttrSec = 30.0;
+    profile.crashHorizon = 3600 * kTicksPerSec;
+
+    auto collect = [&](std::uint64_t seed) {
+        infless::faults::DomainOutageStream stream(profile, seed, 4);
+        std::vector<infless::faults::DomainOutageEvent> out;
+        for (auto ev = stream.next(); ev.valid(); ev = stream.next())
+            out.push_back(ev);
+        return out;
+    };
+    auto a = collect(42);
+    auto b = collect(42);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].at, b[i].at);
+        EXPECT_EQ(a[i].zone, b[i].zone);
+        EXPECT_EQ(a[i].repairAt, b[i].repairAt);
+        EXPECT_GE(a[i].zone, 0);
+        EXPECT_LT(a[i].zone, 4);
+        EXPECT_GT(a[i].repairAt, a[i].at);
+        // Outages never overlap: the next one starts after the repair.
+        if (i > 0)
+            EXPECT_GT(a[i].at, a[i - 1].repairAt);
+        EXPECT_LE(a[i].at, profile.crashHorizon);
+    }
+    EXPECT_NE(collect(43).front().at, a.front().at);
+}
+
+TEST(DomainOutageTest, InjectorDrivesDomainHooks)
+{
+    FaultProfile profile;
+    profile.domainOutageAt = 20 * kTicksPerSec;
+    profile.domainOutageTarget = 1;
+    profile.domainOutageMttrSec = 5.0;
+
+    Simulation sim(7);
+    FaultInjector injector(sim, profile, 7, 6, 3);
+    std::vector<std::pair<Tick, infless::cluster::DomainId>> outages;
+    std::vector<std::pair<Tick, infless::cluster::DomainId>> repairs;
+    FaultInjector::Hooks hooks;
+    hooks.domainOutage = [&](infless::cluster::DomainId zone) {
+        outages.emplace_back(sim.now(), zone);
+    };
+    hooks.domainRepair = [&](infless::cluster::DomainId zone) {
+        repairs.emplace_back(sim.now(), zone);
+    };
+    injector.start(std::move(hooks));
+    sim.runUntil(60 * kTicksPerSec);
+
+    ASSERT_EQ(outages.size(), 1u);
+    EXPECT_EQ(outages[0].first, 20 * kTicksPerSec);
+    EXPECT_EQ(outages[0].second, 1);
+    ASSERT_EQ(repairs.size(), 1u);
+    EXPECT_EQ(repairs[0].first, 25 * kTicksPerSec);
+    EXPECT_EQ(repairs[0].second, 1);
+    EXPECT_EQ(injector.domainOutagesScheduled(), 1);
+    EXPECT_EQ(injector.domainRepairsScheduled(), 1);
+}
+
+TEST(GrayFailureTest, MultiplierIsSeededPerServerAndPure)
+{
+    FaultProfile profile;
+    profile.grayFraction = 0.3;
+    profile.grayFactor = 4.0;
+    ASSERT_TRUE(profile.grayEnabled());
+    // Gray membership is a pure function of (seed, id): no shared state,
+    // identical on every call, and values are only 1 or the factor.
+    int gray = 0;
+    for (infless::cluster::ServerId s = 0; s < 200; ++s) {
+        double m = infless::faults::grayExecMultiplier(profile, 7, s);
+        EXPECT_EQ(m, infless::faults::grayExecMultiplier(profile, 7, s));
+        EXPECT_TRUE(m == 1.0 || m == 4.0);
+        gray += m == 4.0 ? 1 : 0;
+    }
+    // ~Binomial(200, 0.3): far from 0 and from all-gray.
+    EXPECT_GT(gray, 30);
+    EXPECT_LT(gray, 90);
+
+    // Disabled profile: always 1, regardless of seed and id.
+    FaultProfile off;
+    EXPECT_EQ(infless::faults::grayExecMultiplier(off, 7, 3), 1.0);
+    off.grayFraction = 0.5; // factor still 1.0 -> disabled
+    EXPECT_EQ(infless::faults::grayExecMultiplier(off, 7, 3), 1.0);
+}
+
 TEST(FaultInjectorTest, StartupAndStragglerDraws)
 {
     Simulation sim(5);
